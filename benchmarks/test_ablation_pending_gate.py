@@ -1,0 +1,34 @@
+"""Ablation: gating KILL_RESTART on the cluster scheduler's pending time.
+
+AntDT-ND only fires KILL_RESTART when the cluster is idle; in a congested
+cluster the relaunch would cost more than the straggler itself.
+"""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import run_ps_experiment, worker_scenario
+
+
+def _compare():
+    scenario = worker_scenario(0.8)
+    idle = run_ps_experiment("antdt-nd", scale=BENCH_SCALE, scenario=scenario, seed=1,
+                             cluster_busy=False)
+    busy = run_ps_experiment("antdt-nd", scale=BENCH_SCALE, scenario=scenario, seed=1,
+                             cluster_busy=True)
+    return {
+        "idle": {"jct_s": idle.jct,
+                 "worker_restarts": sum(v for k, v in idle.restarts_per_node.items()
+                                        if k.startswith("worker"))},
+        "busy": {"jct_s": busy.jct,
+                 "worker_restarts": sum(v for k, v in busy.restarts_per_node.items()
+                                        if k.startswith("worker"))},
+    }
+
+
+def test_ablation_pending_time_gate(benchmark):
+    result = run_once(benchmark, _compare)
+    print("\nAblation — KILL_RESTART gating on cluster pending time:")
+    for state, row in result.items():
+        print(f"  cluster {state:<5} jct={row['jct_s']:8.1f}s  worker restarts={row['worker_restarts']}")
+    assert result["idle"]["worker_restarts"] >= 1
+    assert result["busy"]["worker_restarts"] == 0

@@ -1,0 +1,19 @@
+"""Fig. 1: BPT traces of workers and servers in a non-dedicated CPU cluster."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import fig1_bpt_traces
+
+
+def test_fig01_bpt_traces(benchmark):
+    traces = run_once(benchmark, fig1_bpt_traces, scale=BENCH_SCALE, seed=0)
+    print("\nFig. 1a — worker BPT (mean seconds per node):")
+    for worker, points in sorted(traces["workers"].items()):
+        values = [v for _, v in points]
+        print(f"  {worker:<10} mean={sum(values) / len(values):6.2f}s  "
+              f"max={max(values):6.2f}s  samples={len(values)}")
+    print("Fig. 1b — server BPT (mean seconds per node):")
+    for server, points in sorted(traces["servers"].items()):
+        values = [v for _, v in points]
+        print(f"  {server:<10} mean={sum(values) / len(values):6.3f}s  max={max(values):6.3f}s")
+    assert traces["workers"] and traces["servers"]

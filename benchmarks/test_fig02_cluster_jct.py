@@ -1,0 +1,16 @@
+"""Fig. 2: JCT of BSP and ASP in dedicated vs non-dedicated CPU clusters."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import fig2_dedicated_vs_nondedicated
+
+
+def test_fig02_cluster_jct(benchmark):
+    results = run_once(benchmark, fig2_dedicated_vs_nondedicated, scale=BENCH_SCALE, seed=0)
+    print("\nFig. 2 — JCT (s) per consistency model and cluster type:")
+    print(f"  {'mode':<5} {'dedicated':>12} {'non-dedicated':>15} {'slowdown':>10}")
+    for mode, row in results.items():
+        print(f"  {mode:<5} {row['dedicated_jct_s']:>12.1f} {row['non_dedicated_jct_s']:>15.1f} "
+              f"{row['slowdown']:>9.2f}x")
+    for row in results.values():
+        assert row["non_dedicated_jct_s"] > row["dedicated_jct_s"]

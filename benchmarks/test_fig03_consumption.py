@@ -1,0 +1,16 @@
+"""Fig. 3: per-worker data consumption and throughput under ASP."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import fig3_data_consumption
+
+
+def test_fig03_consumption(benchmark):
+    result = run_once(benchmark, fig3_data_consumption, scale=BENCH_SCALE, seed=0)
+    print("\nFig. 3 — samples consumed and throughput per worker (ASP + DDS):")
+    for worker in sorted(result["samples"]):
+        print(f"  {worker:<10} samples={result['samples'][worker]:>10.0f}  "
+              f"throughput={result['throughput'][worker]:>8.1f} samples/s")
+    fastest = max(result["throughput"], key=result["throughput"].get)
+    slowest = min(result["throughput"], key=result["throughput"].get)
+    assert result["samples"][fastest] > result["samples"][slowest]

@@ -1,0 +1,16 @@
+"""Fig. 7: BPT vs batch size on a CPU worker (linear model behind Eq. 3)."""
+
+from conftest import run_once
+
+from repro.experiments import fig7_cpu_batch_curve
+
+
+def test_fig07_cpu_batch_curve(benchmark):
+    curve = run_once(benchmark, fig7_cpu_batch_curve,
+                     batch_sizes=(1024, 2048, 4096, 6144, 8192))
+    print("\nFig. 7 — CPU BPT vs batch size:")
+    for batch, bpt in curve.items():
+        print(f"  batch={batch:>6d}  bpt={bpt:6.3f}s")
+    batches = sorted(curve)
+    slopes = [(curve[b2] - curve[b1]) / (b2 - b1) for b1, b2 in zip(batches, batches[1:])]
+    assert max(slopes) - min(slopes) < 1e-9

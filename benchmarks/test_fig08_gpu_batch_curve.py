@@ -1,0 +1,21 @@
+"""Fig. 8: BPT vs batch size on V100/P100 (saturation point and memory limit)."""
+
+from conftest import run_once
+
+from repro.experiments import fig8_gpu_batch_curve
+
+
+def test_fig08_gpu_batch_curve(benchmark):
+    curves = run_once(benchmark, fig8_gpu_batch_curve)
+    print("\nFig. 8 — GPU BPT vs batch size (None = OOM past the memory limit):")
+    batches = sorted(next(iter(curves.values())))
+    header = "  batch " + "".join(f"{device:>10}" for device in curves)
+    print(header)
+    for batch in batches:
+        row = f"  {batch:>5d} "
+        for device in curves:
+            value = curves[device][batch]
+            row += f"{value:>10.3f}" if value is not None else f"{'OOM':>10}"
+        print(row)
+    assert curves["V100"][4] == curves["V100"][32]
+    assert curves["P100"][128] is None

@@ -1,0 +1,16 @@
+"""Fig. 10: JCT of the BSP-family methods under worker and server stragglers."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import fig10_bsp_jct
+
+
+def test_fig10_bsp_jct(benchmark):
+    matrix = run_once(benchmark, fig10_bsp_jct, scale=BENCH_SCALE, intensity=0.8, seed=0)
+    print("\nFig. 10 — BSP-family JCT (s):")
+    print(f"  {'method':<16} {'worker stragglers':>18} {'server straggler':>18}")
+    for method, row in matrix.items():
+        print(f"  {method:<16} {row['worker']:>18.1f} {row['server']:>18.1f}")
+    for side in ("worker", "server"):
+        assert min(matrix, key=lambda m: matrix[m][side]) == "antdt-nd"
+        assert matrix["bsp"][side] > 1.5 * matrix["antdt-nd"][side]

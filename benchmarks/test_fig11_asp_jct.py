@@ -1,0 +1,16 @@
+"""Fig. 11: JCT of the ASP-family methods under worker and server stragglers."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import fig11_asp_jct
+
+
+def test_fig11_asp_jct(benchmark):
+    matrix = run_once(benchmark, fig11_asp_jct, scale=BENCH_SCALE, intensity=0.8, seed=0)
+    print("\nFig. 11 — ASP-family JCT (s):")
+    print(f"  {'method':<16} {'worker stragglers':>18} {'server straggler':>18}")
+    for method, row in matrix.items():
+        print(f"  {method:<16} {row['worker']:>18.1f} {row['server']:>18.1f}")
+    for side in ("worker", "server"):
+        assert matrix["antdt-nd-asp"][side] <= matrix["asp-dds"][side]
+        assert matrix["antdt-nd-asp"][side] < matrix["asp"][side]

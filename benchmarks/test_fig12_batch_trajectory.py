@@ -1,0 +1,18 @@
+"""Fig. 12: batch-size adjustment among workers under AntDT-ND."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import fig12_batch_size_trajectory
+
+
+def test_fig12_batch_trajectory(benchmark):
+    trajectories = run_once(benchmark, fig12_batch_size_trajectory, scale=BENCH_SCALE,
+                            intensity=0.8, seed=1)
+    print("\nFig. 12 — per-worker batch size (min / initial / max over the run):")
+    adjusted = 0
+    for worker, points in sorted(trajectories.items()):
+        values = [v for _, v in points]
+        if max(values) != min(values):
+            adjusted += 1
+        print(f"  {worker:<10} min={min(values):6.0f}  start={values[0]:6.0f}  max={max(values):6.0f}")
+    assert adjusted >= 1, "ADJUST_BS should change at least one worker's batch size"

@@ -1,0 +1,22 @@
+"""Fig. 13: per-worker BPT under AntDT-ND, including the KILL_RESTART event."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import fig13_bpt_trajectory
+
+
+def test_fig13_bpt_trajectory(benchmark):
+    result = run_once(benchmark, fig13_bpt_trajectory, scale=BENCH_SCALE, intensity=0.8, seed=1)
+    print("\nFig. 13 — per-worker BPT (s) before/after mitigation:")
+    kills = result["kill_restart_events"]
+    print(f"  KILL_RESTART events: {kills}")
+    for worker, points in sorted(result["bpt"].items()):
+        values = [v for _, v in points]
+        print(f"  {worker:<10} mean={sum(values) / len(values):5.2f}  max={max(values):5.2f}")
+    assert kills, "the persistent straggler should be kill-restarted"
+    # The restarted worker's BPT drops back to the fleet level afterwards.
+    killed = kills[0][1]
+    kill_time = kills[0][0]
+    after = [v for t, v in result["bpt"][killed] if t > kill_time + BENCH_SCALE.worker_recovery_s]
+    before = [v for t, v in result["bpt"][killed] if t < kill_time]
+    assert after and before and min(before) > max(after) * 0.9

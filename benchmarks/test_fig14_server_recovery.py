@@ -1,0 +1,27 @@
+"""Fig. 14: slow-server BPT and global throughput around the KILL_RESTART."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import fig14_server_recovery
+
+
+def test_fig14_server_recovery(benchmark):
+    result = run_once(benchmark, fig14_server_recovery, scale=BENCH_SCALE, intensity=0.8, seed=0)
+    kills = result["kill_restart_events"]
+    print("\nFig. 14 — slow server recovery:")
+    print(f"  straggling server: {result['straggler_server']}, KILL_RESTART at "
+          f"{[round(t, 1) for t, _ in kills]}")
+    if kills:
+        kill_time = kills[0][0]
+        before = [v for t, v in result["server_bpt"] if t < kill_time]
+        after = [v for t, v in result["server_bpt"] if t > kill_time + BENCH_SCALE.server_recovery_s]
+        thr_before = [v for t, v in result["global_throughput"] if t < kill_time and v > 0]
+        thr_after = [v for t, v in result["global_throughput"]
+                     if t > kill_time + BENCH_SCALE.server_recovery_s and v > 0]
+        print(f"  server BPT  before={sum(before) / len(before):6.3f}s  "
+              f"after={sum(after) / len(after):6.3f}s")
+        print(f"  throughput  before={sum(thr_before) / len(thr_before):8.0f}  "
+              f"after={sum(thr_after) / len(thr_after):8.0f} samples/s")
+        assert sum(after) / len(after) < sum(before) / len(before)
+        assert sum(thr_after) / len(thr_after) > sum(thr_before) / len(thr_before)
+    assert kills

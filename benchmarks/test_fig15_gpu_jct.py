@@ -1,0 +1,15 @@
+"""Fig. 15: JCT of DDP / LB-BSP / AntDT-DD on the heterogeneous GPU cluster."""
+
+from conftest import run_once
+
+from repro.experiments import fig15_gpu_jct
+
+
+def test_fig15_gpu_jct(benchmark):
+    results = run_once(benchmark, fig15_gpu_jct)
+    print("\nFig. 15 — one-epoch ImageNet JCT (s) on 4xV100 + 4xP100:")
+    print(f"  {'model':<14} {'DDP':>10} {'LB-BSP':>10} {'AntDT-DD':>10}")
+    for model, row in results.items():
+        print(f"  {model:<14} {row['ddp']:>10.1f} {row['lb-bsp']:>10.1f} {row['antdt-dd']:>10.1f}")
+    for row in results.values():
+        assert row["antdt-dd"] < row["lb-bsp"] < row["ddp"]

@@ -1,0 +1,16 @@
+"""Fig. 16: number of data shards consumed vs worker throughput (ASP-DDS)."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import fig16_shard_agility
+
+
+def test_fig16_shard_agility(benchmark):
+    result = run_once(benchmark, fig16_shard_agility, scale=BENCH_SCALE, seed=0)
+    print("\nFig. 16 — shards consumed vs throughput per worker:")
+    for worker in sorted(result["shards"]):
+        print(f"  {worker:<10} shards={result['shards'][worker]:>5.0f}  "
+              f"throughput={result['throughput'][worker]:>8.1f} samples/s")
+    fastest = max(result["throughput"], key=result["throughput"].get)
+    slowest = min(result["throughput"], key=result["throughput"].get)
+    assert result["shards"][fastest] > result["shards"][slowest]

@@ -1,0 +1,19 @@
+"""Fig. 17: failover time delay of checkpoint-based vs DDS-based KILL_RESTART."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import fig17_failover_delay
+
+
+def test_fig17_failover_delay(benchmark):
+    sweep = run_once(benchmark, fig17_failover_delay, scale=BENCH_SCALE,
+                     checkpoint_intervals_s=(300.0, 600.0, 1200.0, 1800.0, 2400.0, 3600.0))
+    print("\nFig. 17 — failover delay (s) vs checkpoint save interval:")
+    print(f"  {'interval (min)':>15} {'checkpoint-based':>18} {'DDS-based':>12}")
+    for interval, row in sorted(sweep.items()):
+        print(f"  {interval / 60.0:>15.0f} {row['checkpoint_based_s']:>18.1f} "
+              f"{row['dds_based_s']:>12.1f}")
+    intervals = sorted(sweep)
+    assert all(sweep[i]["dds_based_s"] == sweep[intervals[0]]["dds_based_s"] for i in intervals)
+    assert sweep[intervals[-1]]["checkpoint_based_s"] > sweep[intervals[0]]["checkpoint_based_s"]
+    assert all(sweep[i]["dds_based_s"] < sweep[i]["checkpoint_based_s"] for i in intervals)

@@ -1,0 +1,16 @@
+"""Fig. 18: AntDT framework overhead (DDS + synchronisation) vs cluster size."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import fig18_overhead
+
+
+def test_fig18_overhead(benchmark):
+    rows = run_once(benchmark, fig18_overhead, worker_counts=(6, 12, 18), scale=BENCH_SCALE,
+                    seed=0)
+    print("\nFig. 18 — framework overhead as % of JCT:")
+    print(f"  {'workers':>8} {'JCT (s)':>9} {'DDS (s)':>8} {'sync (s)':>9} {'overhead %':>11}")
+    for row in rows:
+        print(f"  {row['num_workers']:>8.0f} {row['jct_s']:>9.1f} {row['dds_overhead_s']:>8.2f} "
+              f"{row['sync_overhead_s']:>9.2f} {row['overhead_percent']:>10.2f}%")
+    assert all(row["overhead_percent"] < 10.0 for row in rows)

@@ -1,0 +1,16 @@
+"""Fig. 19: mean JCT per method over a production-like job mix (A/B test)."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import fig19_production_ab
+
+
+def test_fig19_production_ab(benchmark):
+    results = run_once(benchmark, fig19_production_ab, num_jobs=5, scale=BENCH_SCALE, seed=0)
+    print("\nFig. 19 — mean JCT (s) over the production job mix:")
+    for family, methods in results.items():
+        print(f"  {family}:")
+        for method, jct in sorted(methods.items(), key=lambda item: item[1]):
+            print(f"    {method:<16} {jct:>10.1f}")
+    assert min(results["bsp_family"], key=results["bsp_family"].get) == "antdt-nd"
+    assert min(results["asp_family"], key=results["asp_family"].get) == "antdt-nd-asp"

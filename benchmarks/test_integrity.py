@@ -1,0 +1,21 @@
+"""§VII-D data integrity: shard accounting and AUC consistency across failovers."""
+
+from conftest import run_once
+
+from repro.experiments import integrity_report
+
+
+def test_data_integrity_with_failover(benchmark):
+    report = run_once(benchmark, integrity_report, num_samples=12_288, seed=3,
+                      with_failover=True)
+    clean = integrity_report(num_samples=12_288, seed=3, with_failover=False)
+    print("\n§VII-D — data integrity under KILL_RESTART failovers:")
+    print(f"  DONE shards:        {report['done_shards']} / {report['expected_shards']}")
+    print(f"  min sample coverage: {report['min_sample_coverage']}")
+    print(f"  duplicated samples:  {report['duplicated_samples']}")
+    print(f"  restarts:            {report['restarts']}")
+    print(f"  AUC with failover:   {report['auc']:.4f}")
+    print(f"  AUC clean run:       {clean['auc']:.4f}")
+    assert report["done_shards"] == report["expected_shards"]
+    assert report["min_sample_coverage"] >= 1
+    assert abs(report["auc"] - clean["auc"]) < 0.05

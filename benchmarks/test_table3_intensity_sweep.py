@@ -1,0 +1,21 @@
+"""Table III: JCT of BSP vs AntDT-ND while sweeping the straggler intensity."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import table3_intensity_sweep
+
+
+def test_table3_intensity_sweep(benchmark):
+    rows = run_once(benchmark, table3_intensity_sweep, scale=BENCH_SCALE,
+                    intensities=(0.1, 0.3, 0.5, 0.8), seed=0)
+    print("\nTable III — JCT (s) under varying straggler intensity:")
+    print(f"  {'side':<8} {'SI':>4} {'BSP':>10} {'AntDT-ND':>10} {'speedup':>9}")
+    for row in rows:
+        print(f"  {row['side']:<8} {row['intensity']:>4.1f} {row['bsp_jct_s']:>10.1f} "
+              f"{row['antdt_nd_jct_s']:>10.1f} {row['speedup_percent']:>8.1f}%")
+    for side in ("worker", "server"):
+        side_rows = [row for row in rows if row["side"] == side]
+        # BSP's JCT climbs with the intensity while AntDT-ND stays nearly flat,
+        # so the speedup grows monotonically with intensity.
+        assert side_rows[-1]["bsp_jct_s"] > side_rows[0]["bsp_jct_s"]
+        assert side_rows[-1]["speedup_percent"] > side_rows[0]["speedup_percent"]

@@ -1,0 +1,16 @@
+"""Pytest bootstrap: make ``repro`` importable from the source tree.
+
+The package is normally installed with ``pip install -e .``; this fallback
+keeps the test and benchmark suites runnable in offline environments where an
+editable install is not possible.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(_SRC))

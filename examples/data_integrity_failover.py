@@ -1,0 +1,39 @@
+"""Data integrity under failovers: train a real model through the simulator.
+
+Trains the NumPy XDeepFM-lite on a synthetic Criteo-like click log through the
+simulated BSP Parameter Server while AntDT-ND kill-restarts a persistent
+straggler mid-run, then verifies the paper's §VII-D claims:
+
+* every DDS shard reaches the DONE state (at-least-once semantics hold);
+* the test AUC matches a clean run without failovers.
+
+Run with::
+
+    python examples/data_integrity_failover.py
+"""
+
+from repro.experiments import format_table, integrity_report
+
+
+def main() -> None:
+    with_failover = integrity_report(num_samples=12_288, seed=7, with_failover=True)
+    clean = integrity_report(num_samples=12_288, seed=7, with_failover=False)
+
+    rows = [
+        ["DONE shards", f"{with_failover['done_shards']}/{with_failover['expected_shards']}",
+         f"{clean['done_shards']}/{clean['expected_shards']}"],
+        ["min sample coverage", with_failover["min_sample_coverage"],
+         clean["min_sample_coverage"]],
+        ["duplicated samples", with_failover["duplicated_samples"], clean["duplicated_samples"]],
+        ["KILL_RESTART count", with_failover["restarts"], clean["restarts"]],
+        ["test AUC", f"{with_failover['auc']:.4f}", f"{clean['auc']:.4f}"],
+        ["JCT (s)", f"{with_failover['jct_s']:.1f}", f"{clean['jct_s']:.1f}"],
+    ]
+    print(format_table(["metric", "with failover", "clean run"], rows))
+    drift = abs(with_failover["auc"] - clean["auc"])
+    print(f"\nAUC drift caused by the failover: {drift:.4f} "
+          f"({'within' if drift < 0.05 else 'outside'} the expected noise band)")
+
+
+if __name__ == "__main__":
+    main()

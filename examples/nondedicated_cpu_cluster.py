@@ -1,0 +1,46 @@
+"""Non-dedicated CPU cluster scenario: the full BSP/ASP method comparison.
+
+Reproduces the core of the paper's evaluation (Figs. 10 and 11) on a scaled
+cluster: every BSP-family and ASP-family method runs under worker stragglers
+and under a server straggler, and the resulting JCTs are printed side by side.
+
+Run with::
+
+    python examples/nondedicated_cpu_cluster.py
+"""
+
+from repro.baselines import asp_methods, bsp_methods
+from repro.experiments import (
+    SMALL,
+    format_table,
+    run_ps_experiment,
+    server_scenario,
+    worker_scenario,
+)
+
+
+def main() -> None:
+    scenarios = {
+        "worker stragglers": worker_scenario(intensity=0.8),
+        "server straggler": server_scenario(intensity=0.8),
+    }
+    for family_name, methods in (("BSP family", bsp_methods()), ("ASP family", asp_methods())):
+        rows = []
+        for method in methods:
+            jcts = {}
+            for label, scenario in scenarios.items():
+                result = run_ps_experiment(method, scale=SMALL, scenario=scenario, seed=1)
+                jcts[label] = result.jct
+            rows.append([
+                method.name,
+                f"{jcts['worker stragglers']:.1f}",
+                f"{jcts['server straggler']:.1f}",
+                method.description,
+            ])
+        print(f"\n=== {family_name} (JCT in seconds) ===")
+        print(format_table(["method", "worker stragglers", "server straggler", "description"],
+                           rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file only
+exists so that legacy/offline installs (``pip install -e . --no-use-pep517
+--no-build-isolation``) work in environments without the ``wheel`` package.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of AntDT: A Self-Adaptive Distributed Training Framework "
+        "for Leader and Straggler Nodes (ICDE 2024)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

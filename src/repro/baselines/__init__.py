@@ -1,0 +1,15 @@
+"""Baseline straggler-mitigation methods and the PS method registry."""
+
+from .registry import PS_METHODS, PSMethod, asp_methods, bsp_methods, get_method
+from .solutions import AdjustLRSolution, LBBSPSolution, NoMitigationSolution
+
+__all__ = [
+    "AdjustLRSolution",
+    "LBBSPSolution",
+    "NoMitigationSolution",
+    "PSMethod",
+    "PS_METHODS",
+    "asp_methods",
+    "bsp_methods",
+    "get_method",
+]

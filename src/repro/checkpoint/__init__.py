@@ -1,0 +1,12 @@
+"""Checkpointing and failover-recovery models."""
+
+from .manager import CheckpointSchedule, FailoverModel, periodic_checkpointer
+from .store import Checkpoint, CheckpointStore
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointSchedule",
+    "CheckpointStore",
+    "FailoverModel",
+    "periodic_checkpointer",
+]

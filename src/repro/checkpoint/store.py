@@ -1,0 +1,93 @@
+"""Checkpoint storage.
+
+A checkpoint captures the three pieces of training state the paper mentions:
+model parameters, optimizer slots, and IO state (how far into the data stream
+every worker has read).  The store is in-memory because the simulation does
+not need durability — what matters for the experiments is *when* checkpoints
+were taken and how expensive saving/restoring is.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Checkpoint", "CheckpointStore"]
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One saved training state."""
+
+    step: int
+    time: float
+    model_state: Dict[str, Any]
+    optimizer_state: Dict[str, Any] = field(default_factory=dict)
+    io_state: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def description(self) -> str:
+        """Short description used in logs."""
+        return f"checkpoint(step={self.step}, time={self.time:.1f}s)"
+
+
+class CheckpointStore:
+    """Append-only in-memory checkpoint store.
+
+    Parameters
+    ----------
+    save_cost_s:
+        Wall-clock seconds one save takes (serialisation + upload); training
+        pauses for this long in BSP mode.
+    restore_cost_s:
+        Wall-clock seconds restoring a checkpoint into a new pod takes.
+    keep_last:
+        Number of checkpoints retained (older ones are dropped, as in
+        production systems with bounded checkpoint storage).
+    """
+
+    def __init__(self, save_cost_s: float = 30.0, restore_cost_s: float = 60.0,
+                 keep_last: int = 5) -> None:
+        if save_cost_s < 0 or restore_cost_s < 0:
+            raise ValueError("checkpoint costs must be non-negative")
+        if keep_last <= 0:
+            raise ValueError("keep_last must be positive")
+        self.save_cost_s = save_cost_s
+        self.restore_cost_s = restore_cost_s
+        self.keep_last = keep_last
+        self._checkpoints: List[Checkpoint] = []
+        self.total_save_time_s = 0.0
+
+    def __len__(self) -> int:
+        return len(self._checkpoints)
+
+    def save(self, step: int, time: float, model_state: Dict[str, Any],
+             optimizer_state: Optional[Dict[str, Any]] = None,
+             io_state: Optional[Dict[str, Any]] = None) -> Checkpoint:
+        """Persist a deep copy of the given training state."""
+        checkpoint = Checkpoint(
+            step=step,
+            time=time,
+            model_state=copy.deepcopy(model_state),
+            optimizer_state=copy.deepcopy(optimizer_state or {}),
+            io_state=copy.deepcopy(io_state or {}),
+        )
+        self._checkpoints.append(checkpoint)
+        if len(self._checkpoints) > self.keep_last:
+            self._checkpoints = self._checkpoints[-self.keep_last :]
+        self.total_save_time_s += self.save_cost_s
+        return checkpoint
+
+    def latest(self) -> Optional[Checkpoint]:
+        """Most recent checkpoint, or None when nothing has been saved."""
+        return self._checkpoints[-1] if self._checkpoints else None
+
+    def latest_before(self, time: float) -> Optional[Checkpoint]:
+        """Most recent checkpoint saved at or before ``time``."""
+        candidates = [ckpt for ckpt in self._checkpoints if ckpt.time <= time]
+        return candidates[-1] if candidates else None
+
+    def all(self) -> List[Checkpoint]:
+        """All retained checkpoints, oldest first."""
+        return list(self._checkpoints)

@@ -1,0 +1,194 @@
+"""The straggler-mitigation action set (paper Table II).
+
+Actions are plain data objects produced by a solution inside the Controller
+and executed by the Agents.  They fall into two types:
+
+* **Global actions** require synchronisation among nodes so every worker
+  applies them in the same iteration: ``ADJUST_BS``, ``BACKUP_WORKERS``,
+  ``ADJUST_LR``.
+* **Node actions** affect a single node and need no synchronisation:
+  ``KILL_RESTART``.
+
+``NONE`` is the dummy action a solution returns when no straggler is present.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "ActionKind",
+    "ActionType",
+    "Action",
+    "AdjustBatchSize",
+    "BackupWorkers",
+    "KillRestart",
+    "AdjustLearningRate",
+    "NoneAction",
+]
+
+
+class ActionKind(enum.Enum):
+    """Synchronisation requirement of an action."""
+
+    GLOBAL = "global"
+    NODE = "node"
+    NONE = "none"
+
+
+class ActionType(enum.Enum):
+    """The pre-defined action set of the AntDT Controller (paper Table II)."""
+
+    ADJUST_BS = "adjust_bs"
+    BACKUP_WORKERS = "backup_workers"
+    KILL_RESTART = "kill_restart"
+    ADJUST_LR = "adjust_lr"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class Action:
+    """Base class for actions; concrete actions add their payload."""
+
+    @property
+    def action_type(self) -> ActionType:
+        """Which entry of the action set this is."""
+        raise NotImplementedError
+
+    @property
+    def kind(self) -> ActionKind:
+        """Whether the action is global (synchronised) or per-node."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line description for logs and experiment reports."""
+        return self.action_type.value
+
+
+@dataclass(frozen=True)
+class AdjustBatchSize(Action):
+    """Load-balancing action: assign a new batch size (and optionally a
+    gradient-accumulation count) to every worker for the next iteration."""
+
+    batch_sizes: Dict[str, int]
+    grad_accumulation: Optional[Dict[str, int]] = None
+
+    def __post_init__(self) -> None:
+        if not self.batch_sizes:
+            raise ValueError("ADJUST_BS requires at least one worker assignment")
+        for worker, batch in self.batch_sizes.items():
+            if batch <= 0:
+                raise ValueError(f"batch size for {worker!r} must be positive, got {batch}")
+        if self.grad_accumulation is not None:
+            for worker, steps in self.grad_accumulation.items():
+                if steps < 1:
+                    raise ValueError(f"grad accumulation for {worker!r} must be >= 1")
+
+    @property
+    def action_type(self) -> ActionType:
+        return ActionType.ADJUST_BS
+
+    @property
+    def kind(self) -> ActionKind:
+        return ActionKind.GLOBAL
+
+    def effective_batch(self, worker: str) -> int:
+        """Samples a worker contributes per synchronisation (B_i * C_i)."""
+        accumulation = 1
+        if self.grad_accumulation is not None:
+            accumulation = self.grad_accumulation.get(worker, 1)
+        return self.batch_sizes[worker] * accumulation
+
+    def describe(self) -> str:
+        sizes = ", ".join(f"{worker}={size}" for worker, size in sorted(self.batch_sizes.items()))
+        return f"ADJUST_BS({sizes})"
+
+
+@dataclass(frozen=True)
+class BackupWorkers(Action):
+    """Replication action: drop the gradients of the ``num_backup`` slowest
+    workers each iteration (their samples are re-queued by the DDS)."""
+
+    num_backup: int
+
+    def __post_init__(self) -> None:
+        if self.num_backup < 0:
+            raise ValueError("num_backup must be non-negative")
+
+    @property
+    def action_type(self) -> ActionType:
+        return ActionType.BACKUP_WORKERS
+
+    @property
+    def kind(self) -> ActionKind:
+        return ActionKind.GLOBAL
+
+    def describe(self) -> str:
+        return f"BACKUP_WORKERS(b={self.num_backup})"
+
+
+@dataclass(frozen=True)
+class KillRestart(Action):
+    """Scheduling action: kill a straggling node and relaunch it elsewhere."""
+
+    node_name: str
+    reason: str = "persistent straggler"
+
+    def __post_init__(self) -> None:
+        if not self.node_name:
+            raise ValueError("KILL_RESTART requires a node name")
+
+    @property
+    def action_type(self) -> ActionType:
+        return ActionType.KILL_RESTART
+
+    @property
+    def kind(self) -> ActionKind:
+        return ActionKind.NODE
+
+    def describe(self) -> str:
+        return f"KILL_RESTART({self.node_name})"
+
+
+@dataclass(frozen=True)
+class AdjustLearningRate(Action):
+    """Optimization action: scale per-worker learning rates (penalise laggards)."""
+
+    factors: Dict[str, float]
+
+    def __post_init__(self) -> None:
+        if not self.factors:
+            raise ValueError("ADJUST_LR requires at least one worker factor")
+        for worker, factor in self.factors.items():
+            if factor <= 0:
+                raise ValueError(f"learning-rate factor for {worker!r} must be positive")
+
+    @property
+    def action_type(self) -> ActionType:
+        return ActionType.ADJUST_LR
+
+    @property
+    def kind(self) -> ActionKind:
+        return ActionKind.GLOBAL
+
+    def describe(self) -> str:
+        factors = ", ".join(f"{worker}={factor:g}" for worker, factor in sorted(self.factors.items()))
+        return f"ADJUST_LR({factors})"
+
+
+@dataclass(frozen=True)
+class NoneAction(Action):
+    """The dummy action: no straggler detected, keep training."""
+
+    @property
+    def action_type(self) -> ActionType:
+        return ActionType.NONE
+
+    @property
+    def kind(self) -> ActionKind:
+        return ActionKind.NONE
+
+    def describe(self) -> str:
+        return "NONE"

@@ -1,0 +1,113 @@
+"""Configuration objects for the AntDT framework.
+
+The hyper-parameters follow Section VII-A.5 of the paper: shard granularity
+``M = 100`` batches, slowness ratio ``λ = 1.5``, sliding windows ``L_trans = 5``
+minutes and ``L_per = 10`` minutes, agent reports every 10 iterations and the
+controller acting every 5 minutes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["ConsistencyModel", "IntegritySemantics", "AntDTConfig"]
+
+
+class ConsistencyModel(enum.Enum):
+    """Synchronisation mode of the data-parallel job."""
+
+    BSP = "bsp"
+    ASP = "asp"
+    SSP = "ssp"
+
+
+class IntegritySemantics(enum.Enum):
+    """Data-integrity guarantee enforced by the Stateful DDS."""
+
+    #: Every sample is used at least once per epoch (failovers may duplicate a
+    #: few samples inside the interrupted shard).  This is the paper's default.
+    AT_LEAST_ONCE = "at_least_once"
+    #: Every sample is used at most once per epoch; requires one batch per
+    #: shard, which costs extra DDS traffic.
+    AT_MOST_ONCE = "at_most_once"
+
+
+@dataclass
+class AntDTConfig:
+    """All knobs of the AntDT framework and its two reference solutions.
+
+    Attributes
+    ----------
+    batches_per_shard:
+        Shard granularity ``M``: how many (global) batches one shard holds.
+    slowness_ratio:
+        ``λ``: a node is a straggler when its window BPT exceeds ``λ`` times
+        the average over all nodes.  The paper uses 1.5 in the evaluation.
+    transient_window_s / persistent_window_s:
+        ``L_trans`` and ``L_per`` sliding windows in seconds.
+    report_interval_iters:
+        The Agent reports application state every this many iterations.
+    control_interval_s:
+        The Controller aggregates and takes actions every this many seconds.
+    min_batch_size:
+        Lower bound for any per-worker batch size produced by ADJUST_BS.
+    dds_op_overhead_s:
+        Wall-clock cost of one DDS round trip (shard acquire or state report).
+    agent_sync_overhead_s:
+        Wall-clock cost of one agent report / local barrier synchronisation.
+    kill_restart_cooldown_s:
+        Minimum time between two KILL_RESTART actions on the same node, so
+        the controller does not thrash a node that is still recovering.
+    max_kill_restarts_per_node:
+        Safety bound on relaunches of a single node.
+    grad_accum_min / grad_accum_max:
+        ``C_min`` / ``C_max`` bounds of the AntDT-DD optimisation (Eq. 4).
+    integrity:
+        Data-integrity semantics enforced by the DDS.
+    adjust_lr_factor:
+        Learning-rate penalty applied to stragglers by the ADJUST_LR action.
+    """
+
+    batches_per_shard: int = 100
+    slowness_ratio: float = 1.5
+    transient_window_s: float = 300.0
+    persistent_window_s: float = 600.0
+    report_interval_iters: int = 10
+    control_interval_s: float = 300.0
+    min_batch_size: int = 1
+    dds_op_overhead_s: float = 0.005
+    agent_sync_overhead_s: float = 0.002
+    kill_restart_cooldown_s: float = 1200.0
+    max_kill_restarts_per_node: int = 2
+    grad_accum_min: int = 1
+    grad_accum_max: int = 5
+    integrity: IntegritySemantics = IntegritySemantics.AT_LEAST_ONCE
+    adjust_lr_factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.batches_per_shard <= 0:
+            raise ValueError("batches_per_shard must be positive")
+        if self.slowness_ratio <= 1.0:
+            raise ValueError("slowness_ratio must be greater than 1.0")
+        if self.transient_window_s <= 0 or self.persistent_window_s <= 0:
+            raise ValueError("sliding windows must be positive")
+        if self.transient_window_s > self.persistent_window_s:
+            raise ValueError("the transient window must not exceed the persistent window")
+        if self.report_interval_iters <= 0:
+            raise ValueError("report_interval_iters must be positive")
+        if self.control_interval_s <= 0:
+            raise ValueError("control_interval_s must be positive")
+        if self.min_batch_size <= 0:
+            raise ValueError("min_batch_size must be positive")
+        if self.dds_op_overhead_s < 0 or self.agent_sync_overhead_s < 0:
+            raise ValueError("overheads must be non-negative")
+        if self.grad_accum_min < 1 or self.grad_accum_max < self.grad_accum_min:
+            raise ValueError("gradient accumulation bounds must satisfy 1 <= min <= max")
+        if not 0 < self.adjust_lr_factor <= 1.0:
+            raise ValueError("adjust_lr_factor must lie in (0, 1]")
+        if self.integrity is IntegritySemantics.AT_MOST_ONCE and self.batches_per_shard != 1:
+            raise ValueError(
+                "at-most-once semantics requires batches_per_shard == 1 (see paper §V-C.3)"
+            )

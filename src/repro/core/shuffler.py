@@ -1,0 +1,52 @@
+"""Shard shuffling.
+
+The DDS shuffles at two levels (paper Fig. 5): the order in which shards are
+inserted into the queue, and the order of the samples inside a shard when the
+worker materialises it.  Both are deterministic functions of (seed, epoch) so
+that a failover replays the exact same ordering.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .shard import SampleRange, Shard
+
+__all__ = ["ShardShuffler"]
+
+
+class ShardShuffler:
+    """Deterministic two-level shuffler for data shards."""
+
+    def __init__(self, seed: int = 0, shuffle_shards: bool = True,
+                 shuffle_within_shard: bool = True) -> None:
+        self.seed = int(seed)
+        self.shuffle_shards = shuffle_shards
+        self.shuffle_within_shard = shuffle_within_shard
+
+    def shard_order(self, num_shards: int, epoch: int) -> List[int]:
+        """Order in which shard ids are enqueued for the given epoch."""
+        order = list(range(num_shards))
+        if not self.shuffle_shards:
+            return order
+        rng = np.random.default_rng((self.seed, epoch, 0x5A))
+        permutation = rng.permutation(num_shards)
+        return [int(i) for i in permutation]
+
+    def sample_indices(self, sample_range: SampleRange) -> np.ndarray:
+        """Global sample indices of a range, shuffled within the range."""
+        indices = np.arange(sample_range.offset, sample_range.end, dtype=np.int64)
+        if not self.shuffle_within_shard:
+            return indices
+        rng = np.random.default_rng(
+            (self.seed, sample_range.epoch, sample_range.offset, sample_range.length)
+        )
+        rng.shuffle(indices)
+        return indices
+
+    def shuffle_shards_list(self, shards: Sequence[Shard], epoch: int) -> List[Shard]:
+        """Return the shards reordered for enqueueing at the start of an epoch."""
+        order = self.shard_order(len(shards), epoch)
+        return [shards[i] for i in order]

@@ -1,0 +1,83 @@
+"""AntDT-DD: the straggler-mitigation solution for dedicated clusters.
+
+Dedicated heterogeneous GPU clusters only have *deterministic* stragglers
+(V100 vs P100).  Simply shrinking the slow device's batch size (LB-BSP)
+levels the per-iteration time but leaves the slow device under-utilised.
+AntDT-DD instead solves Eq. 4: every device series gets a batch size between
+its saturation point and its memory limit, plus a gradient-accumulation count,
+so all devices run saturated and synchronise at (almost) the same moment.
+
+Because the stragglers are deterministic, the adjustment only needs to run
+once; afterwards the solution returns the dummy action.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..actions import Action, AdjustBatchSize, NoneAction
+from ..controller import ControlContext
+from ..solvers import AccumulationPlan, DeviceGroup, solve_gradient_accumulation
+from .base import Solution
+
+__all__ = ["AntDTDD"]
+
+
+class AntDTDD(Solution):
+    """The dedicated-cluster solution (paper §VI-B)."""
+
+    name = "antdt-dd"
+
+    def __init__(self, device_groups: Sequence[DeviceGroup], worker_groups: Dict[str, str],
+                 min_accumulation: int = 1, max_accumulation: int = 5) -> None:
+        """
+        Parameters
+        ----------
+        device_groups:
+            One :class:`DeviceGroup` per GPU series in the cluster, carrying
+            the measured throughput, saturation point and memory limit.
+        worker_groups:
+            Mapping from worker name to the name of its device group.
+        min_accumulation / max_accumulation:
+            The ``C_min`` / ``C_max`` bounds of Eq. 4.
+        """
+        if not device_groups:
+            raise ValueError("at least one device group is required")
+        if not worker_groups:
+            raise ValueError("worker_groups must map every worker to a device group")
+        group_names = {group.name for group in device_groups}
+        unknown = {name for name in worker_groups.values() if name not in group_names}
+        if unknown:
+            raise ValueError(f"worker_groups references unknown device groups: {sorted(unknown)}")
+        self.device_groups = list(device_groups)
+        self.worker_groups = dict(worker_groups)
+        self.min_accumulation = min_accumulation
+        self.max_accumulation = max_accumulation
+        self._plan: Optional[List[AccumulationPlan]] = None
+
+    def reset(self) -> None:
+        self._plan = None
+
+    @property
+    def plan(self) -> Optional[List[AccumulationPlan]]:
+        """The Eq. 4 solution once computed (None before the first decision)."""
+        return self._plan
+
+    def decide(self, context: ControlContext) -> List[Action]:
+        if self._plan is not None:
+            # Deterministic stragglers: adjust once, then do nothing.
+            return [NoneAction()]
+        self._plan = solve_gradient_accumulation(
+            self.device_groups,
+            global_batch=context.global_batch_size,
+            min_accumulation=self.min_accumulation,
+            max_accumulation=self.max_accumulation,
+        )
+        per_group = {plan.group: plan for plan in self._plan}
+        batch_sizes: Dict[str, int] = {}
+        accumulation: Dict[str, int] = {}
+        for worker, group_name in self.worker_groups.items():
+            plan = per_group[group_name]
+            batch_sizes[worker] = plan.batch_size
+            accumulation[worker] = plan.accumulation
+        return [AdjustBatchSize(batch_sizes=batch_sizes, grad_accumulation=accumulation)]

@@ -1,0 +1,104 @@
+"""Motivation experiments: paper Figs. 1, 2, 3, 7 and 8.
+
+These regenerate the observations that motivate AntDT: per-node BPT traces in
+a non-dedicated cluster (Fig. 1), the JCT gap between dedicated and
+non-dedicated clusters under BSP and ASP (Fig. 2), the uneven data consumption
+of ASP workers (Fig. 3), and the BPT-vs-batch-size curves that justify the
+linear CPU model (Fig. 7) and the GPU saturation model (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..baselines.registry import get_method
+from ..core.config import ConsistencyModel
+from ..sim.hardware import CPU_WORKER_16C, GPU_P100, GPU_V100, DeviceProfile
+from .runner import PSExperiment
+from .stragglers import NO_STRAGGLERS, StragglerScenario, apply_trace_pattern, worker_scenario
+from .workloads import SMALL, ExperimentScale
+
+__all__ = [
+    "fig1_bpt_traces",
+    "fig2_dedicated_vs_nondedicated",
+    "fig3_data_consumption",
+    "fig7_cpu_batch_curve",
+    "fig8_gpu_batch_curve",
+]
+
+
+def _run_with_trace_pattern(method: str, scale: ExperimentScale, seed: int):
+    experiment = PSExperiment(method=get_method(method), scale=scale,
+                              scenario=NO_STRAGGLERS, seed=seed, dedicated=False)
+    job = experiment.build_job()
+    apply_trace_pattern(job.cluster, scale, seed=seed)
+    result = job.run()
+    return job, result
+
+
+def fig1_bpt_traces(scale: ExperimentScale = SMALL, seed: int = 0) -> Dict[str, Dict[str, List[Tuple[float, float]]]]:
+    """Fig. 1: BPT traces of workers (1a) and servers (1b) in a non-dedicated cluster."""
+    job, result = _run_with_trace_pattern("bsp", scale, seed)
+    workers: Dict[str, List[Tuple[float, float]]] = {}
+    for worker in result.metrics.tags("bpt"):
+        series = result.metrics.series("bpt", worker)
+        workers[worker] = list(zip(series.times(), series.values()))
+    servers: Dict[str, List[Tuple[float, float]]] = {}
+    for server in result.metrics.tags("server_bpt"):
+        series = result.metrics.series("server_bpt", server)
+        servers[server] = list(zip(series.times(), series.values()))
+    return {"workers": workers, "servers": servers, "jct": {"value": [(0.0, result.jct)]}}
+
+
+def fig2_dedicated_vs_nondedicated(scale: ExperimentScale = SMALL, seed: int = 0) -> Dict[str, Dict[str, float]]:
+    """Fig. 2: JCT of BSP and ASP in dedicated vs. non-dedicated CPU clusters."""
+    results: Dict[str, Dict[str, float]] = {}
+    for mode, method in (("BSP", "bsp"), ("ASP", "asp")):
+        dedicated = PSExperiment(method=get_method(method), scale=scale,
+                                 scenario=NO_STRAGGLERS, seed=seed).run()
+        _, contended = _run_with_trace_pattern(method, scale, seed)
+        results[mode] = {
+            "dedicated_jct_s": dedicated.jct,
+            "non_dedicated_jct_s": contended.jct,
+            "slowdown": contended.jct / dedicated.jct if dedicated.jct > 0 else float("inf"),
+        }
+    return results
+
+
+def fig3_data_consumption(scale: ExperimentScale = SMALL, seed: int = 0) -> Dict[str, Dict[str, float]]:
+    """Fig. 3: per-worker sample consumption and throughput under ASP with the DDS."""
+    experiment = PSExperiment(method=get_method("asp-dds"), scale=scale,
+                              scenario=worker_scenario(0.8), seed=seed)
+    result = experiment.run()
+    throughput: Dict[str, float] = {}
+    for worker, samples in result.consumed_per_worker.items():
+        throughput[worker] = samples / result.jct if result.jct > 0 else 0.0
+    return {
+        "samples": {w: float(v) for w, v in result.consumed_per_worker.items()},
+        "throughput": throughput,
+    }
+
+
+def fig7_cpu_batch_curve(batch_sizes: Sequence[int] = (1024, 2048, 4096, 6144, 8192),
+                         device: DeviceProfile = CPU_WORKER_16C) -> Dict[int, float]:
+    """Fig. 7: BPT vs. batch size on a CPU worker (linear)."""
+    return {int(b): device.batch_time(int(b)) for b in batch_sizes}
+
+
+def fig8_gpu_batch_curve(batch_sizes: Optional[Sequence[int]] = None) -> Dict[str, Dict[int, Optional[float]]]:
+    """Fig. 8: BPT vs. batch size for V100 and P100 (saturation point, memory limit).
+
+    Batch sizes past a device's memory limit map to ``None`` (OOM).
+    """
+    if batch_sizes is None:
+        batch_sizes = [4, 8, 16, 32, 48, 64, 96, 128, 160, 192, 224]
+    curves: Dict[str, Dict[int, Optional[float]]] = {}
+    for device in (GPU_V100, GPU_P100):
+        curve: Dict[int, Optional[float]] = {}
+        for batch in batch_sizes:
+            try:
+                curve[int(batch)] = device.batch_time(int(batch))
+            except ValueError:
+                curve[int(batch)] = None
+        curves[device.name] = curve
+    return curves

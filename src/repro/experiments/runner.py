@@ -1,0 +1,143 @@
+"""Experiment runner: build and execute one Parameter-Server training run.
+
+This is the glue the figure generators and benchmarks call: give it a method
+name (from :mod:`repro.baselines.registry`), a straggler scenario and a
+scale, and it assembles the environment, cluster, allocator, backend, AntDT
+components and job, runs the simulation, and returns the
+:class:`~repro.psarch.job.PSRunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from ..baselines.registry import PSMethod, get_method
+from ..core.config import ConsistencyModel
+from ..core.sharding import StatefulDDS, StaticPartition
+from ..core.shuffler import ShardShuffler
+from ..ml.models.cost_models import ModelCostProfile, XDEEPFM_CRITEO
+from ..psarch.backend import ComputeBackend
+from ..psarch.job import PSRunResult, PSTrainingJob
+from ..sim.cluster import Cluster
+from ..sim.engine import Environment
+from ..sim.metrics import MetricsRecorder
+from ..sim.scheduler import ClusterScheduler
+from .stragglers import NO_STRAGGLERS, StragglerScenario, apply_scenario
+from .workloads import (
+    ExperimentScale,
+    SMALL,
+    antdt_config,
+    make_cpu_cluster,
+    pending_model,
+    ps_job_config,
+)
+
+__all__ = ["PSExperiment", "run_ps_experiment"]
+
+
+@dataclass
+class PSExperiment:
+    """Everything needed to run (and re-run) one PS experiment."""
+
+    method: PSMethod
+    scale: ExperimentScale = SMALL
+    scenario: StragglerScenario = NO_STRAGGLERS
+    seed: int = 0
+    model: ModelCostProfile = field(default_factory=lambda: XDEEPFM_CRITEO)
+    dedicated: bool = True
+    cluster_busy: bool = False
+    backend: Optional[ComputeBackend] = None
+    evaluate_after_run: bool = False
+    epochs: Optional[int] = None
+
+    def build_job(self) -> PSTrainingJob:
+        """Assemble the simulation environment and the training job."""
+        env = Environment()
+        cluster = make_cpu_cluster(self.scale, seed=self.seed, dedicated=self.dedicated)
+        apply_scenario(cluster, self.scenario, self.scale, seed=self.seed)
+
+        epochs = self.epochs if self.epochs is not None else self.scale.epochs
+        cfg = antdt_config(self.scale)
+        if self.method.allocator == "dds":
+            allocator = StatefulDDS(
+                num_samples=self.scale.num_samples,
+                global_batch_size=self.scale.global_batch_size,
+                batches_per_shard=cfg.batches_per_shard,
+                epochs=epochs,
+                shuffler=ShardShuffler(seed=self.seed),
+                op_cost_s=cfg.dds_op_overhead_s,
+                # Keep the shard granularity proportional to the global batch
+                # (as in the paper, where a shard covers M global batches) but
+                # never below two worker-batches, so the scaled-down runs
+                # preserve the assignment agility of the paper-scale
+                # configuration (M=100 at thousands of iterations).
+                samples_per_shard=self.scale.per_worker_batch
+                * max(2, self.scale.num_workers // 3),
+            )
+        else:
+            allocator = StaticPartition(
+                num_samples=self.scale.num_samples,
+                workers=[node.name for node in cluster.workers],
+                epochs=epochs,
+            )
+
+        job_config = ps_job_config(
+            self.scale,
+            consistency=self.method.consistency,
+            model=self.model,
+            backup_workers=self.method.backup_workers,
+        )
+        metrics = MetricsRecorder()
+        scheduler = ClusterScheduler(
+            env,
+            cluster,
+            pending_model=pending_model(self.scale, busy=self.cluster_busy),
+            node_init_time=self.scale.node_init_time_s,
+            metrics=metrics,
+        )
+        return PSTrainingJob(
+            env=env,
+            cluster=cluster,
+            allocator=allocator,
+            config=job_config,
+            antdt_config=cfg,
+            backend=self.backend,
+            solution=self.method.make_solution(),
+            scheduler=scheduler,
+            metrics=metrics,
+            evaluate_after_run=self.evaluate_after_run,
+        )
+
+    def run(self) -> PSRunResult:
+        """Build and run the experiment."""
+        return self.build_job().run()
+
+
+def run_ps_experiment(
+    method: Union[str, PSMethod],
+    scale: ExperimentScale = SMALL,
+    scenario: StragglerScenario = NO_STRAGGLERS,
+    seed: int = 0,
+    model: ModelCostProfile = XDEEPFM_CRITEO,
+    dedicated: bool = True,
+    cluster_busy: bool = False,
+    backend: Optional[ComputeBackend] = None,
+    evaluate_after_run: bool = False,
+    epochs: Optional[int] = None,
+) -> PSRunResult:
+    """Convenience wrapper: run one PS training experiment and return its result."""
+    spec = get_method(method) if isinstance(method, str) else method
+    experiment = PSExperiment(
+        method=spec,
+        scale=scale,
+        scenario=scenario,
+        seed=seed,
+        model=model,
+        dedicated=dedicated,
+        cluster_busy=cluster_busy,
+        backend=backend,
+        evaluate_after_run=evaluate_after_run,
+        epochs=epochs,
+    )
+    return experiment.run()

@@ -1,0 +1,106 @@
+"""Synthetic Criteo-like click-log generator.
+
+The paper trains XDeepFM on the public Criteo dataset (45 million click
+records with 13 numeric and 26 categorical features).  That dataset is not
+available offline, so this module generates a synthetic click log with the
+same schema shape at a configurable scale: dense features drawn from
+log-normal-like distributions, categorical fields with power-law vocabulary
+usage, and labels produced by a hidden ground-truth model (linear + pairwise
+interactions) so that a CTR model can actually learn signal and reach a
+meaningful AUC — which is what the data-integrity experiment checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .dataset import TabularDataset
+
+__all__ = ["CriteoConfig", "make_criteo_like"]
+
+
+@dataclass
+class CriteoConfig:
+    """Configuration for the synthetic Criteo-like generator.
+
+    The defaults are miniature (tests and examples should run in seconds);
+    paper-scale runs simply raise ``num_samples``.
+    """
+
+    num_samples: int = 20_000
+    num_dense: int = 13
+    field_cardinalities: Sequence[int] = (100, 80, 60, 40, 30, 20, 12, 8)
+    positive_rate: float = 0.25
+    noise: float = 1.0
+    seed: int = 2024
+
+    def __post_init__(self) -> None:
+        if self.num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+        if self.num_dense < 0:
+            raise ValueError("num_dense must be non-negative")
+        if not self.field_cardinalities:
+            raise ValueError("at least one categorical field is required")
+        if not 0.0 < self.positive_rate < 1.0:
+            raise ValueError("positive_rate must lie strictly between 0 and 1")
+        if self.noise < 0:
+            raise ValueError("noise must be non-negative")
+
+
+def _powerlaw_choices(rng: np.random.Generator, cardinality: int, size: int) -> np.ndarray:
+    """Draw categorical values with a power-law (Zipf-like) popularity profile."""
+    ranks = np.arange(1, cardinality + 1, dtype=np.float64)
+    weights = 1.0 / ranks
+    weights /= weights.sum()
+    return rng.choice(cardinality, size=size, p=weights)
+
+
+def make_criteo_like(config: Optional[CriteoConfig] = None) -> TabularDataset:
+    """Generate a synthetic Criteo-like dataset.
+
+    The label model is ``logit = w·dense + sum_f u_f[value_f] + pairwise`` with
+    Gaussian noise; the intercept is calibrated so the empirical positive rate
+    matches ``config.positive_rate``.
+    """
+    cfg = config if config is not None else CriteoConfig()
+    rng = np.random.default_rng(cfg.seed)
+
+    dense = rng.lognormal(mean=0.0, sigma=1.0, size=(cfg.num_samples, cfg.num_dense))
+    dense = np.log1p(dense)  # the standard Criteo preprocessing transform
+
+    num_fields = len(cfg.field_cardinalities)
+    categorical = np.zeros((cfg.num_samples, num_fields), dtype=np.int64)
+    for j, cardinality in enumerate(cfg.field_cardinalities):
+        categorical[:, j] = _powerlaw_choices(rng, int(cardinality), cfg.num_samples)
+
+    # Hidden ground-truth model.
+    dense_weights = rng.normal(0.0, 0.5, size=cfg.num_dense)
+    field_effects: List[np.ndarray] = [
+        rng.normal(0.0, 1.0, size=int(cardinality)) for cardinality in cfg.field_cardinalities
+    ]
+    logits = dense @ dense_weights
+    for j in range(num_fields):
+        logits = logits + field_effects[j][categorical[:, j]]
+    # A couple of pairwise interactions so factorization-style models have an edge.
+    if num_fields >= 2:
+        interaction = rng.normal(
+            0.0, 0.8, size=(int(cfg.field_cardinalities[0]), int(cfg.field_cardinalities[1]))
+        )
+        logits = logits + interaction[categorical[:, 0], categorical[:, 1]]
+    logits = logits + rng.normal(0.0, cfg.noise, size=cfg.num_samples)
+
+    # Calibrate the intercept so the positive rate matches the target.
+    intercept = float(np.quantile(logits, 1.0 - cfg.positive_rate))
+    probabilities = 1.0 / (1.0 + np.exp(-(logits - intercept)))
+    labels = (rng.random(cfg.num_samples) < probabilities).astype(np.float64)
+
+    return TabularDataset(
+        dense=dense,
+        labels=labels,
+        categorical=categorical,
+        field_cardinalities=[int(c) for c in cfg.field_cardinalities],
+        name="criteo-like",
+    )

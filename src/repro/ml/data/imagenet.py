@@ -1,0 +1,58 @@
+"""ImageNet-scale workload descriptors.
+
+The GPU experiments (paper Fig. 15) train ResNet-101 and MobileNets on one
+epoch of ImageNet.  Reproducing their *timing* behaviour does not require
+pixels — only the number of samples and the per-sample compute/communication
+cost of each model, which the AllReduce simulator consumes.  This module
+provides those workload descriptors at paper scale and at miniature scale for
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ImageWorkload", "imagenet_epoch", "mini_imagenet_epoch"]
+
+
+@dataclass(frozen=True)
+class ImageWorkload:
+    """A vision training workload measured in samples, not bytes.
+
+    Attributes
+    ----------
+    name:
+        Workload name used in reports (``"imagenet"``).
+    num_samples:
+        Samples per epoch.
+    epochs:
+        Number of epochs to train.
+    image_side:
+        Input resolution (reporting only).
+    """
+
+    name: str
+    num_samples: int
+    epochs: int = 1
+    image_side: int = 224
+
+    def __post_init__(self) -> None:
+        if self.num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+
+    @property
+    def total_samples(self) -> int:
+        """Total samples processed over the whole run."""
+        return self.num_samples * self.epochs
+
+
+def imagenet_epoch(epochs: int = 1) -> ImageWorkload:
+    """The paper's ImageNet workload: 1.28 million images per epoch."""
+    return ImageWorkload(name="imagenet", num_samples=1_281_167, epochs=epochs)
+
+
+def mini_imagenet_epoch(num_samples: int = 20_000, epochs: int = 1) -> ImageWorkload:
+    """A scaled-down ImageNet-shaped workload for tests and quick benches."""
+    return ImageWorkload(name="mini-imagenet", num_samples=num_samples, epochs=epochs)

@@ -1,0 +1,82 @@
+"""Loss functions for the NumPy mini deep-learning substrate.
+
+Each loss returns both the scalar loss value and the gradient with respect to
+the model's logits, so models only need to implement a backward pass from the
+logit gradient.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["sigmoid", "bce_with_logits", "mse", "softmax_cross_entropy"]
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def bce_with_logits(logits: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Binary cross-entropy on logits.
+
+    Returns the mean loss and ``d(loss)/d(logits)`` (already divided by the
+    batch size, so gradients from different batch sizes are comparable).
+    """
+    logits = np.asarray(logits, dtype=np.float64).reshape(-1)
+    labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+    if logits.shape != labels.shape:
+        raise ValueError(f"shape mismatch: logits {logits.shape} vs labels {labels.shape}")
+    n = logits.shape[0]
+    if n == 0:
+        raise ValueError("empty batch")
+    # log(1 + exp(-|x|)) + max(x, 0) - x*y is the stable form.
+    loss = np.mean(np.maximum(logits, 0) - logits * labels + np.log1p(np.exp(-np.abs(logits))))
+    probs = sigmoid(logits)
+    grad = (probs - labels) / n
+    return float(loss), grad
+
+
+def mse(predictions: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean squared error and its gradient with respect to predictions."""
+    predictions = np.asarray(predictions, dtype=np.float64).reshape(-1)
+    targets = np.asarray(targets, dtype=np.float64).reshape(-1)
+    if predictions.shape != targets.shape:
+        raise ValueError("shape mismatch between predictions and targets")
+    n = predictions.shape[0]
+    if n == 0:
+        raise ValueError("empty batch")
+    diff = predictions - targets
+    loss = float(np.mean(diff**2))
+    grad = 2.0 * diff / n
+    return loss, grad
+
+
+def softmax_cross_entropy(logits: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Multi-class cross entropy.
+
+    ``logits`` has shape ``(n, num_classes)`` and ``labels`` holds integer
+    class indices of shape ``(n,)``.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    if logits.ndim != 2 or logits.shape[0] != labels.shape[0]:
+        raise ValueError("logits must be (n, classes) and labels (n,)")
+    n = logits.shape[0]
+    if n == 0:
+        raise ValueError("empty batch")
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    loss = float(-np.mean(log_probs[np.arange(n), labels]))
+    probs = np.exp(log_probs)
+    grad = probs
+    grad[np.arange(n), labels] -= 1.0
+    grad /= n
+    return loss, grad

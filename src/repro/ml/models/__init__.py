@@ -1,0 +1,29 @@
+"""NumPy models and model cost profiles."""
+
+from .base import Gradients, Model
+from .cost_models import (
+    INHOUSE_RANKING,
+    MOBILENET_V1,
+    MODEL_COSTS,
+    RESNET101,
+    XDEEPFM_CRITEO,
+    ModelCostProfile,
+)
+from .linear import LogisticRegression
+from .mlp import MLP, DenseStack
+from .xdeepfm import XDeepFMLite
+
+__all__ = [
+    "DenseStack",
+    "Gradients",
+    "INHOUSE_RANKING",
+    "LogisticRegression",
+    "MLP",
+    "MOBILENET_V1",
+    "MODEL_COSTS",
+    "Model",
+    "ModelCostProfile",
+    "RESNET101",
+    "XDEEPFM_CRITEO",
+    "XDeepFMLite",
+]

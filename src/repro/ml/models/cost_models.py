@@ -1,0 +1,100 @@
+"""Compute/communication cost descriptors for the paper's workload models.
+
+The timing experiments do not need actual kernels — only how expensive one
+sample is to process relative to the reference model of each device profile,
+and how many parameters have to be synchronised per iteration.  This module
+describes the three model families the paper evaluates:
+
+* **XDeepFM** on Criteo (CPU Parameter Server, Cluster-A / Cluster-C);
+* **ResNet-101** and **MobileNetV1** on ImageNet (GPU AllReduce, Cluster-B);
+* a generic "in-house transformer ranking model" used for the Cluster-C
+  scalability experiments.
+
+``compute_cost`` is a multiplier on the device profile's per-sample cost:
+the GPU profiles are calibrated for ResNet-101, so ResNet has cost 1.0 and
+MobileNets (roughly 7.6 GFLOPs vs 0.57 GFLOPs per image) is much cheaper;
+communication-wise MobileNets still synchronises 4.2 M parameters every
+iteration, which is why it is the *communication-intensive* case in Fig. 15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = [
+    "ModelCostProfile",
+    "MODEL_COSTS",
+    "RESNET101",
+    "MOBILENET_V1",
+    "XDEEPFM_CRITEO",
+    "INHOUSE_RANKING",
+]
+
+
+@dataclass(frozen=True)
+class ModelCostProfile:
+    """Cost description of one model architecture.
+
+    Attributes
+    ----------
+    name:
+        Architecture name.
+    num_parameters:
+        Number of trainable parameters (drives communication volume).
+    gflops_per_sample:
+        Forward+backward GFLOPs per sample (reporting only).
+    compute_cost:
+        Per-sample compute cost relative to the device profile's reference
+        model (ResNet-101 for GPUs, XDeepFM for CPUs).
+    """
+
+    name: str
+    num_parameters: int
+    gflops_per_sample: float
+    compute_cost: float
+
+    def __post_init__(self) -> None:
+        if self.num_parameters <= 0:
+            raise ValueError("num_parameters must be positive")
+        if self.compute_cost <= 0:
+            raise ValueError("compute_cost must be positive")
+
+    @property
+    def gradient_bytes(self) -> float:
+        """Bytes pushed/pulled per synchronisation (fp32 dense gradient)."""
+        return float(self.num_parameters) * 4.0
+
+
+RESNET101 = ModelCostProfile(
+    name="resnet101",
+    num_parameters=44_549_160,
+    gflops_per_sample=7.6 * 3,
+    compute_cost=1.0,
+)
+
+MOBILENET_V1 = ModelCostProfile(
+    name="mobilenet_v1",
+    num_parameters=4_233_000,
+    gflops_per_sample=0.57 * 3,
+    compute_cost=0.22,
+)
+
+XDEEPFM_CRITEO = ModelCostProfile(
+    name="xdeepfm",
+    num_parameters=20_000_000,
+    gflops_per_sample=0.02,
+    compute_cost=1.0,
+)
+
+INHOUSE_RANKING = ModelCostProfile(
+    name="inhouse_ranking_transformer",
+    num_parameters=120_000_000,
+    gflops_per_sample=0.4,
+    compute_cost=2.5,
+)
+
+MODEL_COSTS: Dict[str, ModelCostProfile] = {
+    profile.name: profile
+    for profile in (RESNET101, MOBILENET_V1, XDEEPFM_CRITEO, INHOUSE_RANKING)
+}

@@ -1,0 +1,50 @@
+"""Logistic regression on dense features.
+
+The smallest trainable model in the substrate — used by unit tests,
+property-based tests and the quickstart example where the focus is on the
+framework, not the model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..data.dataset import Batch
+from .base import Gradients, Model
+
+__all__ = ["LogisticRegression"]
+
+
+class LogisticRegression(Model):
+    """`logit = dense @ w + b` with binary cross-entropy training."""
+
+    def __init__(self, num_dense: int, seed: int = 0) -> None:
+        super().__init__()
+        if num_dense <= 0:
+            raise ValueError("num_dense must be positive")
+        rng = np.random.default_rng(seed)
+        self.num_dense = num_dense
+        self.params = {
+            "weight": rng.normal(0.0, 0.01, size=num_dense),
+            "bias": np.zeros(1),
+        }
+        self._cache: Optional[Batch] = None
+
+    def forward(self, batch: Batch) -> np.ndarray:
+        if batch.dense.shape[1] != self.num_dense:
+            raise ValueError(
+                f"expected {self.num_dense} dense features, got {batch.dense.shape[1]}"
+            )
+        self._cache = batch
+        return batch.dense @ self.params["weight"] + self.params["bias"][0]
+
+    def backward(self, batch: Batch, grad_logits: np.ndarray) -> Gradients:
+        grad_logits = np.asarray(grad_logits, dtype=np.float64).reshape(-1)
+        if grad_logits.shape[0] != len(batch):
+            raise ValueError("grad_logits size does not match the batch")
+        return {
+            "weight": batch.dense.T @ grad_logits,
+            "bias": np.array([grad_logits.sum()]),
+        }

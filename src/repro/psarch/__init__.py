@@ -1,0 +1,21 @@
+"""Parameter Server training architecture on the simulated cluster."""
+
+from .backend import ComputeBackend, NumpyPSBackend, SyntheticBackend
+from .barrier import BSPBarrier
+from .config import PSJobConfig
+from .job import PSRunResult, PSTrainingJob
+from .server import ParameterServer, PushRequest
+from .worker import PSWorker
+
+__all__ = [
+    "BSPBarrier",
+    "ComputeBackend",
+    "NumpyPSBackend",
+    "PSJobConfig",
+    "PSRunResult",
+    "PSTrainingJob",
+    "PSWorker",
+    "ParameterServer",
+    "PushRequest",
+    "SyntheticBackend",
+]

@@ -1,0 +1,136 @@
+"""Compute backends: what actually happens when a worker "trains" a batch.
+
+Two backends implement the same protocol so the same simulated architecture
+can be used for pure timing experiments and for statistical/data-integrity
+experiments:
+
+* :class:`SyntheticBackend` — no real math; gradients are opaque tokens.  All
+  timing comes from the device cost models, which is exactly what the JCT
+  experiments need and keeps even the 90-worker Cluster-C runs cheap.
+* :class:`NumpyPSBackend` — a real NumPy model is trained: the worker computes
+  gradients on the actual rows named by its DDS sample range and the (logical)
+  servers apply them with the configured optimizer.  Used by the AUC /
+  data-integrity experiments (paper §VII-D).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.shard import SampleRange
+from ..core.shuffler import ShardShuffler
+from ..ml.data.dataset import TabularDataset
+from ..ml.losses import bce_with_logits
+from ..ml.metrics import auc
+from ..ml.models.base import Model
+from ..ml.optim import Optimizer
+
+__all__ = ["ComputeBackend", "SyntheticBackend", "NumpyPSBackend"]
+
+
+class ComputeBackend:
+    """Protocol between the simulated workers/servers and the ML substrate."""
+
+    def compute_gradient(self, worker: str, sample_range: SampleRange) -> object:
+        """Produce the worker-side payload for one batch (may be a no-op token)."""
+        raise NotImplementedError
+
+    def apply_gradient(self, worker: str, payload: object, weight: float) -> None:
+        """Server-side: fold an accepted payload into the global model."""
+        raise NotImplementedError
+
+    def scale_learning_rate(self, worker: str, factor: float) -> None:
+        """Apply the ADJUST_LR action for one worker (no-op by default)."""
+
+    def snapshot(self) -> Dict[str, object]:
+        """State to store in a checkpoint."""
+        return {}
+
+    def evaluate(self) -> Optional[float]:
+        """Return a statistical quality metric (AUC) or None if not applicable."""
+        return None
+
+
+class SyntheticBackend(ComputeBackend):
+    """Timing-only backend: tracks how many samples were accepted and dropped."""
+
+    def __init__(self) -> None:
+        self.accepted_samples = 0
+        self.applied_updates = 0
+        self.per_worker_accepted: Dict[str, int] = {}
+
+    def compute_gradient(self, worker: str, sample_range: SampleRange) -> object:
+        return {"worker": worker, "num_samples": sample_range.length}
+
+    def apply_gradient(self, worker: str, payload: object, weight: float) -> None:
+        num_samples = int(payload["num_samples"]) if isinstance(payload, dict) else 0
+        self.accepted_samples += num_samples
+        self.applied_updates += 1
+        self.per_worker_accepted[worker] = self.per_worker_accepted.get(worker, 0) + num_samples
+
+
+class NumpyPSBackend(ComputeBackend):
+    """Backend that really trains a NumPy model.
+
+    The model parameters conceptually live on the servers; the simulation's
+    server nodes only add timing, while this backend holds the single logical
+    copy of the parameters (which is what a sharded PS amounts to
+    functionally).
+    """
+
+    def __init__(self, model: Model, optimizer: Optimizer, dataset: TabularDataset,
+                 shuffler: Optional[ShardShuffler] = None,
+                 test_dataset: Optional[TabularDataset] = None,
+                 per_worker_lr: bool = True) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.dataset = dataset
+        self.test_dataset = test_dataset
+        self.shuffler = shuffler if shuffler is not None else ShardShuffler(seed=0)
+        self.per_worker_lr = per_worker_lr
+        self._lr_factors: Dict[str, float] = {}
+        self.losses: List[float] = []
+        self.samples_seen = 0
+        self.sample_use_counts = np.zeros(len(dataset), dtype=np.int64)
+
+    def compute_gradient(self, worker: str, sample_range: SampleRange) -> object:
+        indices = self.shuffler.sample_indices(sample_range) % len(self.dataset)
+        batch = self.dataset.read_indices(indices)
+        loss, grads = self.model.loss_and_gradients(batch, bce_with_logits)
+        return {
+            "worker": worker,
+            "loss": loss,
+            "grads": grads,
+            "num_samples": sample_range.length,
+            "indices": indices,
+        }
+
+    def apply_gradient(self, worker: str, payload: object, weight: float) -> None:
+        grads = payload["grads"]
+        factor = self._lr_factors.get(worker, 1.0) if self.per_worker_lr else 1.0
+        scaled = {name: grad * (weight * factor) for name, grad in grads.items()}
+        self.optimizer.step(scaled)
+        self.losses.append(float(payload["loss"]))
+        self.samples_seen += int(payload["num_samples"])
+        np.add.at(self.sample_use_counts, payload["indices"], 1)
+
+    def scale_learning_rate(self, worker: str, factor: float) -> None:
+        self._lr_factors[worker] = self._lr_factors.get(worker, 1.0) * factor
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "model": self.model.state_dict(),
+            "optimizer": self.optimizer.state_dict(),
+        }
+
+    def evaluate(self) -> Optional[float]:
+        """AUC on the held-out dataset (or the training data if none given)."""
+        dataset = self.test_dataset if self.test_dataset is not None else self.dataset
+        scores = []
+        labels = []
+        for batch in dataset.iter_batches(batch_size=4096):
+            scores.append(self.model.predict_proba(batch))
+            labels.append(batch.labels)
+        return auc(np.concatenate(labels), np.concatenate(scores))

@@ -1,0 +1,128 @@
+"""BSP synchronisation barrier with dynamic membership and backup workers.
+
+The barrier implements two behaviours the reproduction needs:
+
+* **Dynamic membership** — a worker that is being relaunched (KILL_RESTART or
+  a failure) leaves the barrier so the remaining workers are not blocked, and
+  rejoins when it comes back.
+* **Backup workers** (Sync-OPT) — a round is released as soon as
+  ``len(members) - b`` workers have arrived; the ``b`` late arrivals are told
+  their gradients were dropped (the caller then returns the samples to the
+  DDS to preserve at-least-once semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set, Tuple
+
+from ..sim.engine import Environment, Event
+
+__all__ = ["BSPBarrier"]
+
+
+@dataclass
+class _Round:
+    """Bookkeeping for one barrier round."""
+
+    release: Event
+    arrived: Set[str] = field(default_factory=set)
+    accepted: Set[str] = field(default_factory=set)
+    released: bool = False
+
+
+class BSPBarrier:
+    """Iteration barrier for the BSP consistency model."""
+
+    def __init__(self, env: Environment, backup_workers: int = 0) -> None:
+        if backup_workers < 0:
+            raise ValueError("backup_workers must be non-negative")
+        self.env = env
+        self.backup_workers = backup_workers
+        self._members: Set[str] = set()
+        self._rounds: Dict[int, _Round] = {}
+        self._highest_released = -1
+
+    # -- membership ----------------------------------------------------------------
+    def join(self, worker: str) -> None:
+        """Add a worker to the barrier membership."""
+        self._members.add(worker)
+
+    def leave(self, worker: str) -> None:
+        """Remove a worker (finished its data, or being relaunched)."""
+        self._members.discard(worker)
+        for round_state in list(self._rounds.values()):
+            if not round_state.released:
+                self._maybe_release(round_state)
+
+    @property
+    def members(self) -> Set[str]:
+        """Workers currently participating in the barrier."""
+        return set(self._members)
+
+    @property
+    def next_round(self) -> int:
+        """The round index a (re)joining worker should start at."""
+        return self._highest_released + 1
+
+    def set_backup_workers(self, backup_workers: int) -> None:
+        """Change the number of tolerated stragglers per round."""
+        if backup_workers < 0:
+            raise ValueError("backup_workers must be non-negative")
+        self.backup_workers = backup_workers
+        for round_state in list(self._rounds.values()):
+            if not round_state.released:
+                self._maybe_release(round_state)
+
+    # -- arrival --------------------------------------------------------------------
+    def _round(self, index: int) -> _Round:
+        if index not in self._rounds:
+            self._rounds[index] = _Round(release=self.env.event())
+        return self._rounds[index]
+
+    def arrive(self, worker: str, round_index: int) -> Tuple[Event, bool]:
+        """Register a worker's arrival at a round.
+
+        Returns ``(release_event, accepted)``.  ``accepted`` is False when the
+        round was already released before this worker arrived — its gradient
+        is dropped (backup-workers semantics) and it must not wait on the
+        release event (which has already fired anyway).
+        """
+        round_state = self._round(round_index)
+        round_state.arrived.add(worker)
+        if round_state.released:
+            return round_state.release, False
+        round_state.accepted.add(worker)
+        self._maybe_release(round_state, round_index)
+        return round_state.release, True
+
+    def _required(self) -> int:
+        if not self._members:
+            return 0
+        return max(1, len(self._members) - self.backup_workers)
+
+    def _maybe_release(self, round_state: _Round, round_index: int = None) -> None:
+        if round_state.released:
+            return
+        present = {worker for worker in round_state.arrived if worker in self._members}
+        required = self._required()
+        if required == 0 or len(present) >= required:
+            round_state.released = True
+            if not round_state.release.triggered:
+                round_state.release.succeed(len(round_state.accepted))
+            if round_index is None:
+                for index, state in self._rounds.items():
+                    if state is round_state:
+                        round_index = index
+                        break
+            if round_index is not None:
+                self._highest_released = max(self._highest_released, round_index)
+            self._garbage_collect()
+
+    def _garbage_collect(self) -> None:
+        # Keep only the last few rounds to bound memory on long runs.
+        if len(self._rounds) > 8:
+            stale = sorted(self._rounds)[:-8]
+            for index in stale:
+                if self._rounds[index].released:
+                    del self._rounds[index]

@@ -1,0 +1,307 @@
+"""Orchestration of a simulated Parameter Server training job.
+
+:class:`PSTrainingJob` wires the substrate (cluster, scheduler, metrics), the
+data allocator (Stateful DDS or static partition), the compute backend, the
+AntDT components (Monitor, AgentGroup, Controller + solution) and the worker
+and server processes into a runnable simulation.  It also implements the
+:class:`~repro.core.controller.ActionExecutor` protocol, so the Controller
+can kill/relaunch its nodes and reconfigure backup workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.actions import Action
+from ..core.agent import AgentGroup
+from ..core.config import AntDTConfig, ConsistencyModel
+from ..core.controller import Controller
+from ..core.monitor import Monitor
+from ..core.sharding import DataAllocator, StatefulDDS
+from ..core.solutions.base import Solution
+from ..sim.cluster import Cluster, Node, NodeRole
+from ..sim.engine import Environment
+from ..sim.metrics import MetricsRecorder
+from ..sim.scheduler import ClusterScheduler, PendingTimeModel
+from .backend import ComputeBackend, SyntheticBackend
+from .barrier import BSPBarrier
+from .config import PSJobConfig
+from .server import ParameterServer
+from .worker import PSWorker
+
+__all__ = ["PSRunResult", "PSTrainingJob"]
+
+
+@dataclass
+class PSRunResult:
+    """Summary of one simulated Parameter Server training run."""
+
+    job_completion_time_s: float
+    completed: bool
+    total_samples: int
+    samples_confirmed: int
+    consumed_per_worker: Dict[str, int]
+    restarts_per_node: Dict[str, int]
+    dropped_iterations: int
+    framework_overhead_s: float
+    action_log: List[Action] = field(default_factory=list)
+    done_shards: Optional[int] = None
+    total_shards: Optional[int] = None
+    auc: Optional[float] = None
+    metrics: Optional[MetricsRecorder] = None
+    monitor: Optional[Monitor] = None
+
+    @property
+    def jct(self) -> float:
+        """Alias for the job completion time in seconds."""
+        return self.job_completion_time_s
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Framework overhead as a fraction of the JCT (paper Fig. 18)."""
+        if self.job_completion_time_s <= 0:
+            return 0.0
+        return self.framework_overhead_s / self.job_completion_time_s
+
+
+class PSTrainingJob:
+    """A complete Parameter Server training job on the simulated cluster."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        allocator: DataAllocator,
+        config: PSJobConfig,
+        antdt_config: Optional[AntDTConfig] = None,
+        backend: Optional[ComputeBackend] = None,
+        solution: Optional[Solution] = None,
+        scheduler: Optional[ClusterScheduler] = None,
+        pending_model: Optional[PendingTimeModel] = None,
+        metrics: Optional[MetricsRecorder] = None,
+        evaluate_after_run: bool = False,
+    ) -> None:
+        if not cluster.workers:
+            raise ValueError("the cluster has no worker nodes")
+        if config.consistency is ConsistencyModel.BSP and not cluster.servers:
+            raise ValueError("BSP Parameter Server training requires server nodes")
+
+        self.env = env
+        self.cluster = cluster
+        self.allocator = allocator
+        self.config = config
+        self.antdt_config = antdt_config if antdt_config is not None else AntDTConfig()
+        self.backend = backend if backend is not None else SyntheticBackend()
+        self.metrics = metrics if metrics is not None else MetricsRecorder()
+        self.scheduler = scheduler if scheduler is not None else ClusterScheduler(
+            env, cluster, pending_model=pending_model, metrics=self.metrics
+        )
+        self.evaluate_after_run = evaluate_after_run
+
+        self.monitor = Monitor(self.metrics)
+        self.monitor.register_third_party("pending_time", self.scheduler.pending_time)
+        self.agent_group = AgentGroup(self.monitor, self.antdt_config)
+
+        self.barrier: Optional[BSPBarrier] = None
+        if config.consistency is ConsistencyModel.BSP:
+            self.barrier = BSPBarrier(env, backup_workers=config.backup_workers)
+
+        self.servers: List[ParameterServer] = []
+        for node in cluster.servers:
+            agent = self.agent_group.create_agent(node.name, is_worker=False)
+            self.servers.append(
+                ParameterServer(
+                    env=env,
+                    node=node,
+                    agent=agent,
+                    config=config,
+                    scheduler=self.scheduler,
+                    metrics=self.metrics,
+                    delay_fraction_provider=self._server_delay_fraction,
+                    report_stride_provider=lambda: max(1, len(self.active_worker_names())),
+                )
+            )
+
+        initial_batch = max(1, config.global_batch_size // max(1, cluster.num_workers))
+        self.workers: List[PSWorker] = []
+        for node in cluster.workers:
+            agent = self.agent_group.create_agent(node.name, is_worker=True)
+            self.workers.append(
+                PSWorker(
+                    env=env,
+                    node=node,
+                    agent=agent,
+                    allocator=allocator,
+                    backend=self.backend,
+                    servers=self.servers,
+                    config=config,
+                    scheduler=self.scheduler,
+                    metrics=self.metrics,
+                    job=self,
+                    barrier=self.barrier,
+                    initial_batch_size=initial_batch,
+                )
+            )
+
+        self.controller: Optional[Controller] = None
+        if solution is not None:
+            self.controller = Controller(
+                env=env,
+                monitor=self.monitor,
+                agent_group=self.agent_group,
+                solution=solution,
+                executor=self,
+                config=self.antdt_config,
+                consistency=config.consistency,
+                global_batch_size=config.global_batch_size,
+                busy_provider=self.scheduler.is_busy,
+                pending_time_provider=self.scheduler.pending_time,
+            )
+
+        self.completed = False
+        self.completion_time: Optional[float] = None
+        self._completion_event = env.event()
+        self._samples_confirmed = 0
+        self._exited_workers: List[str] = []
+        self._lr_factors: Dict[str, float] = {}
+
+    # -- internal hooks ------------------------------------------------------------
+    def _server_delay_fraction(self) -> float:
+        """Fraction of a contention sleep each push request pays on a server.
+
+        BSP aggregates all worker pushes into one parameter update per
+        iteration, so a per-iteration delay is amortised over the active
+        workers.  ASP applies updates much more frequently (per push), but a
+        backlogged server still coalesces a couple of pending pushes per
+        update, so the per-push share of the delay is capped at one half.
+        """
+        active = max(1, len(self.active_worker_names()))
+        if self.config.consistency is ConsistencyModel.BSP:
+            return 1.0 / active
+        return min(1.0, 2.0 / active)
+
+    def notify_progress(self, num_samples: int, time: float) -> None:
+        """Called by workers when a sample range is confirmed."""
+        self._samples_confirmed += num_samples
+        self.metrics.record("samples_done", float(self._samples_confirmed), time)
+        if self.allocator.exhausted and not self.completed:
+            self.completed = True
+            self.completion_time = time
+            if not self._completion_event.triggered:
+                self._completion_event.succeed(time)
+
+    def worker_exited(self, worker: str) -> None:
+        """Called by a worker process when it leaves the training loop."""
+        if worker not in self._exited_workers:
+            self._exited_workers.append(worker)
+        if not self.completed and len(self._exited_workers) == len(self.workers):
+            # All workers left (e.g. the allocator ran dry through drops):
+            # treat as completion so the run terminates.
+            self.completed = True
+            self.completion_time = self.env.now
+            if not self._completion_event.triggered:
+                self._completion_event.succeed(self.env.now)
+
+    # -- ActionExecutor protocol ------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """True once the job completed (ActionExecutor protocol)."""
+        return self.completed
+
+    def active_worker_names(self) -> List[str]:
+        """Workers that are currently running (not restarting, not exited)."""
+        return [
+            worker.name
+            for worker in self.workers
+            if worker.node.is_running and worker.name not in self._exited_workers
+        ]
+
+    def active_server_names(self) -> List[str]:
+        """Servers that are currently running."""
+        return [server.name for server in self.servers if server.node.is_running]
+
+    def request_kill_restart(self, node_name: str, reason: str = "") -> bool:
+        """Kill and relaunch a worker or server node."""
+        for worker in self.workers:
+            if worker.name == node_name:
+                granted = worker.request_kill_restart()
+                if granted:
+                    self.metrics.log_event(self.env.now, "kill_restart", node_name, reason)
+                return granted
+        for server in self.servers:
+            if server.name == node_name:
+                granted = server.request_kill_restart()
+                if granted:
+                    self.metrics.log_event(self.env.now, "kill_restart", node_name, reason)
+                return granted
+        return False
+
+    def set_backup_workers(self, num_backup: int) -> None:
+        """Configure the number of slowest gradients dropped per iteration."""
+        self.config.backup_workers = num_backup
+        if self.barrier is not None:
+            self.barrier.set_backup_workers(num_backup)
+
+    def apply_lr_factors(self, factors: Dict[str, float]) -> None:
+        """Apply ADJUST_LR scaling factors through the compute backend."""
+        for worker, factor in factors.items():
+            self._lr_factors[worker] = self._lr_factors.get(worker, 1.0) * factor
+            self.backend.scale_learning_rate(worker, factor)
+
+    def restart_counts(self) -> Dict[str, int]:
+        """Relaunches performed so far per node."""
+        return {node.name: node.restart_count for node in self.cluster.nodes}
+
+    def last_restart_times(self) -> Dict[str, float]:
+        """Simulation time of the latest relaunch per node."""
+        latest: Dict[str, float] = {}
+        for start, name, duration in self.scheduler.restart_log:
+            latest[name] = max(latest.get(name, 0.0), start + duration)
+        return latest
+
+    # -- execution ------------------------------------------------------------------------
+    def start(self) -> None:
+        """Launch every server, worker and (optionally) controller process."""
+        for server in self.servers:
+            server.start()
+        for worker in self.workers:
+            worker.start()
+        if self.controller is not None:
+            self.env.process(self.controller.run())
+
+    def run(self) -> PSRunResult:
+        """Run the job to completion and return the result summary."""
+        self.start()
+        deadline = self.env.timeout(self.config.max_duration_s)
+        self.env.run(until=self.env.any_of([self._completion_event, deadline]))
+        jct = self.completion_time if self.completion_time is not None else self.env.now
+        return self._build_result(jct)
+
+    def _build_result(self, jct: float) -> PSRunResult:
+        dropped = sum(worker.dropped_iterations for worker in self.workers)
+        overhead = self.agent_group.total_overhead_s + self.allocator.total_overhead_s
+        done_shards = total_shards = None
+        if isinstance(self.allocator, StatefulDDS):
+            done_shards = self.allocator.done_shards
+            total_shards = self.allocator.total_shards
+        auc_value = None
+        if self.evaluate_after_run:
+            auc_value = self.backend.evaluate()
+        total_samples = getattr(self.allocator, "total_samples", self._samples_confirmed)
+        return PSRunResult(
+            job_completion_time_s=jct,
+            completed=self.completed,
+            total_samples=int(total_samples),
+            samples_confirmed=self._samples_confirmed,
+            consumed_per_worker=self.allocator.consumed_counts(),
+            restarts_per_node=self.restart_counts(),
+            dropped_iterations=dropped,
+            framework_overhead_s=overhead,
+            action_log=list(self.controller.action_log) if self.controller else [],
+            done_shards=done_shards,
+            total_shards=total_shards,
+            auc=auc_value,
+            metrics=self.metrics,
+            monitor=self.monitor,
+        )

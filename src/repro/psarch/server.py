@@ -1,0 +1,139 @@
+"""Simulated parameter server nodes.
+
+Each server owns a shard of the model parameters and processes push requests
+from workers through a FIFO queue.  A contended server (the paper's server
+straggler) takes longer per request, so its queue backs up and every worker's
+:math:`T^s_i` and :math:`T^m_i` grow — which is why only KILL_RESTART helps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..core.agent import Agent
+from ..sim.cluster import Node
+from ..sim.engine import Environment, Event, Interrupt, Store
+from ..sim.failures import ErrorCode
+from ..sim.metrics import MetricsRecorder
+from ..sim.scheduler import ClusterScheduler
+from .config import PSJobConfig
+
+__all__ = ["PushRequest", "ParameterServer"]
+
+
+@dataclass
+class PushRequest:
+    """One worker->server gradient push awaiting processing."""
+
+    worker: str
+    nbytes: float
+    done: Event
+    submitted_at: float = 0.0
+
+
+class ParameterServer:
+    """The simulation process of one server node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: Node,
+        agent: Agent,
+        config: PSJobConfig,
+        scheduler: ClusterScheduler,
+        metrics: MetricsRecorder,
+        delay_fraction_provider: Callable[[], float],
+        report_stride_provider: Optional[Callable[[], int]] = None,
+    ) -> None:
+        self.env = env
+        self.node = node
+        self.agent = agent
+        self.config = config
+        self.scheduler = scheduler
+        self.metrics = metrics
+        self._delay_fraction_provider = delay_fraction_provider
+        self._report_stride_provider = report_stride_provider
+        self.queue: Store = env.store()
+        self.requests_handled = 0
+        self.process = None
+        self._restart_requested = False
+
+    @property
+    def name(self) -> str:
+        """Node name of this server."""
+        return self.node.name
+
+    def start(self) -> None:
+        """Launch the server's simulation process."""
+        self.process = self.env.process(self.run())
+
+    # -- worker-facing API --------------------------------------------------------
+    def submit(self, worker: str, nbytes: float) -> Event:
+        """Enqueue a push request; the returned event fires when it is applied."""
+        request = PushRequest(worker=worker, nbytes=nbytes, done=self.env.event(),
+                              submitted_at=self.env.now)
+        self.queue.put(request)
+        return request.done
+
+    # -- controller-facing API -----------------------------------------------------
+    def request_kill_restart(self) -> bool:
+        """Kill this server and relaunch it (returns False if already restarting)."""
+        if not self.node.is_running or self.process is None or not self.process.is_alive:
+            return False
+        if self._restart_requested:
+            return False
+        self._restart_requested = True
+        self.process.interrupt("kill_restart")
+        return True
+
+    # -- simulation process -----------------------------------------------------------
+    def run(self):
+        """Main loop: pop a request, spend the handling time, acknowledge it."""
+        current: Optional[PushRequest] = None
+        get_event: Optional[Event] = None
+        while True:
+            try:
+                get_event = self.queue.get()
+                current = yield get_event
+                get_event = None
+                fraction = float(self._delay_fraction_provider())
+                handling = self.node.server_time(
+                    current.nbytes,
+                    self.env.now,
+                    per_byte_cost=self.config.server_per_byte_cost_s,
+                    delay_fraction=fraction,
+                )
+                yield self.env.timeout(handling)
+                if not current.done.triggered:
+                    current.done.succeed(self.env.now)
+                self.requests_handled += 1
+                self.metrics.record("server_bpt", handling, self.env.now, tag=self.name)
+                # A server sees one push per worker per iteration, so it only
+                # samples its handling time once per (approximate) global
+                # iteration — otherwise its reporting traffic would scale with
+                # the number of workers.
+                stride = 1
+                if self._report_stride_provider is not None:
+                    stride = max(1, int(self._report_stride_provider()))
+                if self.requests_handled % stride == 0:
+                    self.agent.report_server_request(handling, self.env.now)
+                current = None
+            except Interrupt:
+                # KILL_RESTART (or injected failure): requeue any in-flight or
+                # half-delivered request so no worker waits forever, then
+                # relaunch the pod.
+                if get_event is not None:
+                    still_pending = self.queue.cancel(get_event)
+                    if not still_pending and get_event.triggered:
+                        delivered = get_event.value
+                        if isinstance(delivered, PushRequest) and not delivered.done.triggered:
+                            self.queue.put_left(delivered)
+                    get_event = None
+                if current is not None and not current.done.triggered:
+                    self.queue.put_left(current)
+                    current = None
+                yield from self.scheduler.relaunch(self.node, ErrorCode.PROACTIVE_KILL)
+                yield self.env.timeout(self.config.server_recovery_time_s)
+                self.agent.reset_after_restart()
+                self._restart_requested = False

@@ -1,0 +1,246 @@
+"""Simulated worker nodes of the Parameter Server architecture.
+
+One worker process per worker node.  Every iteration a worker:
+
+1. polls its Agent for global actions broadcast by the Controller
+   (ADJUST_BS changes its batch size / gradient-accumulation count);
+2. fetches a sample range from the data allocator (Stateful DDS or static
+   partition);
+3. computes the gradients (``T_w``), pushes them to every server and waits
+   for the acknowledgements (``T_s`` + ``T_m``), pulls the new parameters;
+4. reports its batch processing time to the Agent and, in BSP mode,
+   synchronises at the barrier (where Backup-Workers drops may occur);
+5. confirms (or returns) the sample range with the allocator.
+
+A KILL_RESTART (or injected failure) interrupts the process at whatever point
+it is in; the failover path requeues its in-flight shard with the DDS, rides
+the cluster scheduler's relaunch delay, pays the worker recovery time, and
+rejoins the barrier.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..core.actions import Action, AdjustBatchSize
+from ..core.agent import Agent
+from ..core.sharding import DataAllocator
+from ..sim.cluster import Node
+from ..sim.engine import Environment, Interrupt
+from ..sim.failures import ErrorCode
+from ..sim.metrics import MetricsRecorder
+from ..sim.scheduler import ClusterScheduler
+from .backend import ComputeBackend
+from .barrier import BSPBarrier
+from .config import PSJobConfig
+from .server import ParameterServer
+
+__all__ = ["PSWorker"]
+
+
+class PSWorker:
+    """The simulation process of one worker node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: Node,
+        agent: Agent,
+        allocator: DataAllocator,
+        backend: ComputeBackend,
+        servers: List[ParameterServer],
+        config: PSJobConfig,
+        scheduler: ClusterScheduler,
+        metrics: MetricsRecorder,
+        job: "PSTrainingJob",
+        barrier: Optional[BSPBarrier] = None,
+        initial_batch_size: int = 1,
+    ) -> None:
+        self.env = env
+        self.node = node
+        self.agent = agent
+        self.allocator = allocator
+        self.backend = backend
+        self.servers = servers
+        self.config = config
+        self.scheduler = scheduler
+        self.metrics = metrics
+        self.job = job
+        self.barrier = barrier
+        self.batch_size = max(1, int(initial_batch_size))
+        self.grad_accumulation = 1
+        self.iteration = 0
+        self.samples_confirmed = 0
+        self.iterations_done = 0
+        self.dropped_iterations = 0
+        self.process = None
+        self._restart_requested = False
+        self._in_barrier = False
+
+    @property
+    def name(self) -> str:
+        """Node name of this worker."""
+        return self.node.name
+
+    def start(self) -> None:
+        """Launch the worker's simulation process."""
+        self.process = self.env.process(self.run())
+
+    # -- controller-facing API ----------------------------------------------------
+    def request_kill_restart(self) -> bool:
+        """Kill this worker and relaunch it (returns False if already restarting)."""
+        if not self.node.is_running or self.process is None or not self.process.is_alive:
+            return False
+        if self._restart_requested:
+            return False
+        self._restart_requested = True
+        self.process.interrupt("kill_restart")
+        return True
+
+    # -- action handling ------------------------------------------------------------
+    def _apply_action(self, action: Action) -> None:
+        if isinstance(action, AdjustBatchSize):
+            if self.name in action.batch_sizes:
+                self.batch_size = max(1, int(action.batch_sizes[self.name]))
+            if action.grad_accumulation and self.name in action.grad_accumulation:
+                self.grad_accumulation = max(1, int(action.grad_accumulation[self.name]))
+        # BACKUP_WORKERS and ADJUST_LR are executed at the job level; the
+        # worker only needs to observe them for the synchronised iteration.
+
+    # -- helpers ---------------------------------------------------------------------
+    def _compute_time(self, num_samples: int) -> float:
+        """Worker compute time for ``num_samples`` with gradient accumulation."""
+        micro_batches = max(1, math.ceil(num_samples / self.batch_size))
+        micro_size = math.ceil(num_samples / micro_batches)
+        total = 0.0
+        for _ in range(micro_batches):
+            total += self.node.compute_time(micro_size, self.env.now,
+                                            model_cost=self.config.model.compute_cost)
+        return total
+
+    def _record_iteration(self, bpt: float, num_samples: int) -> None:
+        # Raw per-iteration series (Fig. 12 / Fig. 13); the Monitor keeps its
+        # own, coarser, agent-reported series under the ``worker_*`` names.
+        self.metrics.record("bpt", bpt, self.env.now, tag=self.name)
+        self.metrics.record("batch_size", float(self.batch_size), self.env.now, tag=self.name)
+        self.metrics.record("iteration_samples", float(num_samples), self.env.now, tag=self.name)
+
+    # -- barrier membership --------------------------------------------------------------
+    def _enter_barrier(self) -> None:
+        if self.barrier is not None and not self._in_barrier:
+            self.barrier.join(self.name)
+            self.iteration = self.barrier.next_round
+            self._in_barrier = True
+
+    def _exit_barrier(self) -> None:
+        if self.barrier is not None and self._in_barrier:
+            self.barrier.leave(self.name)
+            self._in_barrier = False
+
+    # -- failover ---------------------------------------------------------------------
+    def _failover(self, cause: object):
+        self.metrics.log_event(self.env.now, "worker_failover", self.name, str(cause))
+        self._exit_barrier()
+        self.allocator.on_worker_failover(self.name)
+        self.agent.reset_after_restart()
+        yield from self.scheduler.relaunch(self.node, ErrorCode.PROACTIVE_KILL)
+        yield self.env.timeout(self.config.worker_recovery_time_s)
+        self._enter_barrier()
+        self._restart_requested = False
+
+    # -- simulation process ---------------------------------------------------------------
+    def run(self):
+        """Main training loop of the worker."""
+        self.allocator.register_worker(self.name)
+        self._enter_barrier()
+        while True:
+            try:
+                if self.job.completed:
+                    break
+
+                # 1. Pick up global actions at the iteration boundary.
+                actions, sync_cost = self.agent.poll()
+                for action in actions:
+                    self._apply_action(action)
+                if sync_cost > 0:
+                    yield self.env.timeout(sync_cost)
+
+                # 2. Fetch data from the allocator.  One iteration may span a
+                # shard boundary, in which case the worker reads the tail of
+                # its current shard plus the head of the next one.
+                wanted = self.batch_size * self.grad_accumulation
+                ranges: List = []
+                gathered = 0
+                dds_cost = 0.0
+                while gathered < wanted:
+                    sample_range = self.allocator.next_range(self.name, wanted - gathered)
+                    if sample_range is None:
+                        break
+                    ranges.append(sample_range)
+                    gathered += sample_range.length
+                    dds_cost += self.allocator.last_op_cost_s
+                if not ranges:
+                    if self.allocator.exhausted:
+                        break
+                    # No work available right now (e.g. all remaining shards
+                    # are DOING on other workers): step out of the barrier so
+                    # the workers that do hold data are not blocked, and poll.
+                    self._exit_barrier()
+                    yield self.env.timeout(self.config.data_poll_interval_s)
+                    continue
+                self._enter_barrier()
+                if dds_cost > 0:
+                    yield self.env.timeout(dds_cost)
+
+                iteration_start = self.env.now
+
+                # 3. Compute and synchronise with the servers.
+                payloads = [self.backend.compute_gradient(self.name, r) for r in ranges]
+                yield self.env.timeout(self._compute_time(gathered))
+
+                grad_bytes = self.config.model.gradient_bytes
+                push_time = self.node.network.transfer_time(grad_bytes)
+                yield self.env.timeout(push_time)
+                per_server = grad_bytes / max(1, len(self.servers))
+                acks = [server.submit(self.name, per_server) for server in self.servers]
+                if acks:
+                    yield self.env.all_of(acks)
+                pull_time = self.node.network.transfer_time(grad_bytes)
+                yield self.env.timeout(pull_time)
+
+                bpt = self.env.now - iteration_start
+                self._record_iteration(bpt, gathered)
+                report_cost = self.agent.report_iteration(bpt, gathered, self.env.now)
+                if report_cost > 0:
+                    yield self.env.timeout(report_cost)
+
+                # 4. BSP barrier (with backup-worker drops) and confirmation.
+                accepted = True
+                release = None
+                if self.barrier is not None:
+                    release, accepted = self.barrier.arrive(self.name, self.iteration)
+                if accepted:
+                    weight = gathered / self.config.global_batch_size
+                    for sample_range, payload in zip(ranges, payloads):
+                        self.backend.apply_gradient(self.name, payload,
+                                                    weight * sample_range.length / gathered)
+                        self.allocator.mark_done(self.name, sample_range)
+                    self.samples_confirmed += gathered
+                    self.job.notify_progress(gathered, self.env.now)
+                else:
+                    for sample_range in reversed(ranges):
+                        self.allocator.return_range(self.name, sample_range)
+                    self.dropped_iterations += 1
+                self.iterations_done += 1
+
+                if self.barrier is not None and accepted and not self.job.completed:
+                    yield release
+                self.iteration += 1
+            except Interrupt as interrupt:
+                yield from self._failover(interrupt.cause)
+
+        # Exit: leave the barrier so remaining workers are not blocked.
+        self._exit_barrier()
+        self.node.mark_finished()
+        self.job.worker_exited(self.name)

@@ -1,0 +1,131 @@
+"""Failure classification and random failure injection.
+
+The AntDT Monitor classifies node errors into *retryable* errors (proactive
+termination by KILL_RESTART, network errors, job eviction — the node should be
+relaunched and training resumed) and *unretryable* errors (user configuration
+or programming errors — the job must stop).  This module provides that
+taxonomy plus a failure injector that randomly kills nodes during a simulated
+run, which is how the data-integrity experiments exercise the failover path of
+the Stateful DDS.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "ErrorCode",
+    "NodeFailure",
+    "is_retryable",
+    "FailureInjector",
+]
+
+
+class ErrorCode(enum.Enum):
+    """Node termination reasons observed by the Monitor."""
+
+    #: Proactive termination requested by the Controller (KILL_RESTART).
+    PROACTIVE_KILL = "proactive_kill"
+    #: Transient network failure between a node and its peers.
+    NETWORK_ERROR = "network_error"
+    #: The pod was evicted/preempted by the cluster scheduler.
+    JOB_EVICTION = "job_eviction"
+    #: Hardware fault on the host machine.
+    MACHINE_FAILURE = "machine_failure"
+    #: User configuration error (bad hyper-parameters, missing files).
+    CONFIGURATION_ERROR = "configuration_error"
+    #: Programming error in the user's training code.
+    PROGRAMMING_ERROR = "programming_error"
+
+
+#: Errors after which the framework relaunches the node and resumes training.
+RETRYABLE_ERRORS = frozenset(
+    {
+        ErrorCode.PROACTIVE_KILL,
+        ErrorCode.NETWORK_ERROR,
+        ErrorCode.JOB_EVICTION,
+        ErrorCode.MACHINE_FAILURE,
+    }
+)
+
+
+def is_retryable(code: ErrorCode) -> bool:
+    """Return True if the framework should relaunch the node after ``code``."""
+    return code in RETRYABLE_ERRORS
+
+
+@dataclass(frozen=True)
+class NodeFailure:
+    """A single node-termination occurrence."""
+
+    node_name: str
+    code: ErrorCode
+    time: float
+    detail: str = ""
+
+    @property
+    def retryable(self) -> bool:
+        """Whether the failure allows the node to be relaunched."""
+        return is_retryable(self.code)
+
+
+class FailureInjector:
+    """Randomly injects retryable node failures during a simulated run.
+
+    Parameters
+    ----------
+    rng:
+        Source of randomness (``numpy`` Generator) for reproducibility.
+    mean_time_between_failures:
+        Expected seconds between failures *per node*.  ``None`` or ``inf``
+        disables random failures.
+    codes:
+        The pool of retryable error codes to draw from.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        mean_time_between_failures: Optional[float] = None,
+        codes: Optional[List[ErrorCode]] = None,
+    ) -> None:
+        if mean_time_between_failures is not None and mean_time_between_failures <= 0:
+            raise ValueError("mean_time_between_failures must be positive or None")
+        self._rng = rng
+        self._mtbf = mean_time_between_failures
+        self._codes = list(codes) if codes else [
+            ErrorCode.NETWORK_ERROR,
+            ErrorCode.JOB_EVICTION,
+            ErrorCode.MACHINE_FAILURE,
+        ]
+        self.history: List[NodeFailure] = []
+
+    @property
+    def enabled(self) -> bool:
+        """True when random failures are being injected."""
+        return self._mtbf is not None and self._mtbf != float("inf")
+
+    def next_failure_delay(self) -> float:
+        """Sample the time until the next random failure of one node."""
+        if not self.enabled:
+            return float("inf")
+        return float(self._rng.exponential(self._mtbf))
+
+    def sample_code(self) -> ErrorCode:
+        """Draw the error code of the next failure."""
+        index = int(self._rng.integers(0, len(self._codes)))
+        return self._codes[index]
+
+    def record(self, node_name: str, code: ErrorCode, time: float, detail: str = "") -> NodeFailure:
+        """Record a failure occurrence and return it."""
+        failure = NodeFailure(node_name=node_name, code=code, time=time, detail=detail)
+        self.history.append(failure)
+        return failure
+
+    def failures_for(self, node_name: str) -> List[NodeFailure]:
+        """All recorded failures of a given node."""
+        return [failure for failure in self.history if failure.node_name == node_name]

@@ -1,0 +1,170 @@
+"""Time-series metric recording for simulated training runs.
+
+Every experiment in the paper is a plot or a table over run statistics: batch
+processing time per node (Fig. 1, 13, 14), job completion time (Fig. 2, 10,
+11, 15, 19, Table III), per-worker batch size (Fig. 12), shard counts and
+throughput (Fig. 3, 16), failover delay (Fig. 17), and framework overhead
+(Fig. 18).  :class:`MetricsRecorder` is the single sink all simulated
+components write to, and the experiment layer reads series back out of it.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["MetricPoint", "MetricSeries", "MetricsRecorder"]
+
+
+@dataclass(frozen=True)
+class MetricPoint:
+    """One recorded observation."""
+
+    time: float
+    value: float
+
+
+class MetricSeries:
+    """An append-only, time-ordered series of observations."""
+
+    def __init__(self) -> None:
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def append(self, time: float, value: float) -> None:
+        """Append an observation; times must be non-decreasing."""
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"observations must be appended in time order "
+                f"({time} < {self._times[-1]})"
+            )
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def points(self) -> List[MetricPoint]:
+        """All observations as :class:`MetricPoint` objects."""
+        return [MetricPoint(t, v) for t, v in zip(self._times, self._values)]
+
+    def times(self) -> List[float]:
+        """Observation times."""
+        return list(self._times)
+
+    def values(self) -> List[float]:
+        """Observation values."""
+        return list(self._values)
+
+    def last(self) -> Optional[MetricPoint]:
+        """Most recent observation, or None when empty."""
+        if not self._times:
+            return None
+        return MetricPoint(self._times[-1], self._values[-1])
+
+    def window(self, start: float, end: float) -> List[float]:
+        """Values observed in the half-open interval ``(start, end]``."""
+        lo = bisect_right(self._times, start)
+        hi = bisect_right(self._times, end)
+        return self._values[lo:hi]
+
+    def window_mean(self, start: float, end: float) -> Optional[float]:
+        """Mean of the values in ``(start, end]`` or None if there are none."""
+        values = self.window(start, end)
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def mean(self) -> Optional[float]:
+        """Mean over the whole series, or None when empty."""
+        if not self._values:
+            return None
+        return sum(self._values) / len(self._values)
+
+    def total(self) -> float:
+        """Sum over the whole series."""
+        return float(sum(self._values))
+
+
+class MetricsRecorder:
+    """Central sink for simulation metrics.
+
+    Metrics are keyed by ``(name, tag)`` where the tag is typically a node
+    name (``"worker-3"``, ``"server-0"``) or ``""`` for job-level metrics.
+    """
+
+    GLOBAL = ""
+
+    def __init__(self) -> None:
+        self._series: Dict[Tuple[str, str], MetricSeries] = defaultdict(MetricSeries)
+        self._counters: Dict[Tuple[str, str], float] = defaultdict(float)
+        self._events: List[Tuple[float, str, str, str]] = []
+
+    # -- recording ----------------------------------------------------------
+    def record(self, name: str, value: float, time: float, tag: str = GLOBAL) -> None:
+        """Record a time-series observation."""
+        self._series[(name, tag)].append(time, value)
+
+    def increment(self, name: str, amount: float = 1.0, tag: str = GLOBAL) -> None:
+        """Increment a counter."""
+        self._counters[(name, tag)] += amount
+
+    def log_event(self, time: float, kind: str, tag: str = GLOBAL, detail: str = "") -> None:
+        """Record a discrete event (e.g. a KILL_RESTART or a failover)."""
+        self._events.append((float(time), kind, tag, detail))
+
+    # -- queries ------------------------------------------------------------
+    def series(self, name: str, tag: str = GLOBAL) -> MetricSeries:
+        """Return the series for ``(name, tag)`` (empty if never recorded)."""
+        return self._series[(name, tag)]
+
+    def has_series(self, name: str, tag: str = GLOBAL) -> bool:
+        """True if at least one observation exists for ``(name, tag)``."""
+        return (name, tag) in self._series and len(self._series[(name, tag)]) > 0
+
+    def tags(self, name: str) -> List[str]:
+        """All tags that have observations under metric ``name``."""
+        found = sorted({tag for (metric, tag) in self._series if metric == name})
+        return found
+
+    def counter(self, name: str, tag: str = GLOBAL) -> float:
+        """Current value of a counter (0.0 if never incremented)."""
+        return self._counters[(name, tag)]
+
+    def counters(self, name: str) -> Dict[str, float]:
+        """All counters recorded under metric ``name``, keyed by tag."""
+        return {tag: value for (metric, tag), value in self._counters.items() if metric == name}
+
+    def events(self, kind: Optional[str] = None, tag: Optional[str] = None) -> List[Tuple[float, str, str, str]]:
+        """Recorded events, optionally filtered by kind and/or tag."""
+        result = self._events
+        if kind is not None:
+            result = [event for event in result if event[1] == kind]
+        if tag is not None:
+            result = [event for event in result if event[2] == tag]
+        return list(result)
+
+    def window_mean(self, name: str, start: float, end: float, tag: str = GLOBAL) -> Optional[float]:
+        """Mean of metric ``name`` for ``tag`` over ``(start, end]``."""
+        return self.series(name, tag).window_mean(start, end)
+
+    def per_tag_window_means(self, name: str, start: float, end: float) -> Dict[str, float]:
+        """Window means of metric ``name`` for every tag that has data in the window."""
+        means: Dict[str, float] = {}
+        for tag in self.tags(name):
+            mean = self.window_mean(name, start, end, tag)
+            if mean is not None:
+                means[tag] = mean
+        return means
+
+    def summary(self, name: str) -> Dict[str, float]:
+        """Whole-run mean per tag for metric ``name``."""
+        result: Dict[str, float] = {}
+        for tag in self.tags(name):
+            mean = self.series(name, tag).mean()
+            if mean is not None:
+                result[tag] = mean
+        return result

@@ -1,0 +1,177 @@
+"""Integration tests for the figure generators and the data-integrity experiment."""
+
+import pytest
+
+from repro.experiments import (
+    SMALL,
+    fig10_bsp_jct,
+    fig11_asp_jct,
+    fig12_batch_size_trajectory,
+    fig13_bpt_trajectory,
+    fig14_server_recovery,
+    fig15_gpu_jct,
+    fig16_shard_agility,
+    fig17_failover_delay,
+    fig18_overhead,
+    fig19_production_ab,
+    fig2_dedicated_vs_nondedicated,
+    fig3_data_consumption,
+    fig7_cpu_batch_curve,
+    fig8_gpu_batch_curve,
+    format_table,
+    integrity_report,
+    make_job_mix,
+    table3_intensity_sweep,
+)
+from repro.experiments.workloads import ExperimentScale
+
+FAST = ExperimentScale(
+    name="fast",
+    num_workers=4,
+    num_servers=2,
+    per_worker_batch=2048,
+    iterations=25,
+    batches_per_shard=1,
+    control_interval_s=10.0,
+    transient_window_s=10.0,
+    persistent_window_s=20.0,
+    kill_restart_cooldown_s=30.0,
+    idle_pending_time_s=2.0,
+    node_init_time_s=4.0,
+    worker_recovery_s=3.0,
+    server_recovery_s=4.0,
+)
+
+
+def test_fig2_non_dedicated_cluster_is_slower():
+    results = fig2_dedicated_vs_nondedicated(scale=FAST, seed=0)
+    for mode in ("BSP", "ASP"):
+        assert results[mode]["non_dedicated_jct_s"] > results[mode]["dedicated_jct_s"]
+        assert results[mode]["slowdown"] > 1.5
+
+
+def test_fig3_straggler_consumes_fewer_samples():
+    result = fig3_data_consumption(scale=FAST, seed=0)
+    samples = result["samples"]
+    straggler = "worker-3"
+    assert samples[straggler] < min(v for k, v in samples.items() if k != straggler)
+
+
+def test_fig7_cpu_curve_is_linear():
+    curve = fig7_cpu_batch_curve(batch_sizes=(1000, 2000, 3000))
+    increments = [curve[2000] - curve[1000], curve[3000] - curve[2000]]
+    assert increments[0] == pytest.approx(increments[1], rel=1e-6)
+
+
+def test_fig8_gpu_curve_has_saturation_and_oom():
+    curves = fig8_gpu_batch_curve()
+    v100 = curves["V100"]
+    assert v100[4] == pytest.approx(v100[32])  # flat below saturation
+    assert v100[224] is None  # past the memory limit
+    p100 = curves["P100"]
+    assert p100[96] is not None and p100[128] is None
+
+
+def test_fig10_antdt_wins_both_straggler_sides():
+    matrix = fig10_bsp_jct(scale=FAST, seed=0)
+    for side in ("worker", "server"):
+        best = min(matrix, key=lambda m: matrix[m][side])
+        assert best == "antdt-nd"
+        assert matrix["bsp"][side] > 1.5 * matrix["antdt-nd"][side]
+
+
+def test_fig11_antdt_wins_asp_family():
+    matrix = fig11_asp_jct(scale=FAST, seed=0)
+    for side in ("worker", "server"):
+        assert matrix["antdt-nd-asp"][side] <= matrix["asp-dds"][side]
+        assert matrix["antdt-nd-asp"][side] < matrix["asp"][side]
+
+
+def test_fig12_and_fig13_trajectories_cover_all_workers():
+    batch_traj = fig12_batch_size_trajectory(scale=FAST, seed=0)
+    bpt = fig13_bpt_trajectory(scale=FAST, seed=0)
+    assert len(batch_traj) == FAST.num_workers
+    assert len(bpt["bpt"]) == FAST.num_workers
+    assert all(len(points) > 0 for points in batch_traj.values())
+
+
+def test_fig14_server_recovers_after_kill_restart():
+    result = fig14_server_recovery(scale=FAST, seed=0)
+    assert result["kill_restart_events"], "the slow server should be restarted"
+    kill_time = result["kill_restart_events"][0][0]
+    before = [v for t, v in result["server_bpt"] if t < kill_time]
+    after = [v for t, v in result["server_bpt"] if t > kill_time + FAST.server_recovery_s]
+    assert before and after
+    assert min(before) > max(after), "server BPT should drop back to normal after the restart"
+
+
+def test_table3_speedup_grows_with_intensity():
+    rows = table3_intensity_sweep(scale=FAST, intensities=(0.1, 0.8), seed=0)
+    worker_rows = [row for row in rows if row["side"] == "worker"]
+    assert worker_rows[0]["speedup_percent"] < worker_rows[-1]["speedup_percent"]
+    for row in rows:
+        if row["intensity"] >= 0.5:
+            # Under heavy stragglers AntDT-ND must clearly win.
+            assert row["antdt_nd_jct_s"] < row["bsp_jct_s"]
+        else:
+            # At very low intensity (tiny scaled runs) the mitigation overhead
+            # may eat most of the gain, but it must stay close to native BSP.
+            assert row["antdt_nd_jct_s"] <= row["bsp_jct_s"] * 1.2
+
+
+def test_fig15_orders_gpu_strategies():
+    results = fig15_gpu_jct()
+    for model, per_strategy in results.items():
+        assert per_strategy["antdt-dd"] < per_strategy["lb-bsp"] < per_strategy["ddp"]
+
+
+def test_fig16_shards_track_throughput():
+    result = fig16_shard_agility(scale=FAST, seed=0)
+    shards = result["shards"]
+    throughput = result["throughput"]
+    fastest = max(throughput, key=throughput.get)
+    slowest = min(throughput, key=throughput.get)
+    assert shards[fastest] > shards[slowest]
+
+
+def test_fig17_dds_recovery_is_flat_and_cheaper():
+    sweep = fig17_failover_delay(scale=FAST, checkpoint_intervals_s=(300.0, 1800.0))
+    assert sweep[300.0]["dds_based_s"] == sweep[1800.0]["dds_based_s"]
+    assert sweep[1800.0]["checkpoint_based_s"] > sweep[300.0]["checkpoint_based_s"]
+    assert sweep[300.0]["dds_based_s"] < sweep[300.0]["checkpoint_based_s"]
+
+
+def test_fig18_overhead_stays_small():
+    rows = fig18_overhead(worker_counts=(4, 8), scale=FAST, seed=0)
+    assert len(rows) == 2
+    for row in rows:
+        assert row["overhead_percent"] < 10.0
+
+
+def test_fig19_antdt_has_lowest_mean_jct():
+    results = fig19_production_ab(num_jobs=3, scale=FAST, seed=0)
+    bsp_family = results["bsp_family"]
+    asp_family = results["asp_family"]
+    assert min(bsp_family, key=bsp_family.get) == "antdt-nd"
+    assert min(asp_family, key=asp_family.get) == "antdt-nd-asp"
+
+
+def test_make_job_mix_is_reproducible():
+    assert [e.scenario.name for e in make_job_mix(5, seed=1)] == \
+        [e.scenario.name for e in make_job_mix(5, seed=1)]
+
+
+def test_integrity_report_preserves_at_least_once_and_auc():
+    with_failover = integrity_report(num_samples=12_288, seed=3, with_failover=True)
+    clean = integrity_report(num_samples=12_288, seed=3, with_failover=False)
+    assert with_failover["completed"] and clean["completed"]
+    assert with_failover["done_shards"] == with_failover["expected_shards"]
+    assert with_failover["min_sample_coverage"] >= 1
+    assert with_failover["restarts"] >= 1
+    assert clean["auc"] > 0.7
+    assert abs(with_failover["auc"] - clean["auc"]) < 0.05
+
+
+def test_format_table_renders_rows():
+    text = format_table(["a", "b"], [[1, 2], [3, 4]])
+    assert "a" in text and "3" in text

@@ -1,0 +1,138 @@
+"""Integration tests: full Parameter-Server training runs on the simulator."""
+
+import pytest
+
+from repro.baselines import get_method
+from repro.core.actions import ActionType
+from repro.experiments import (
+    NO_STRAGGLERS,
+    PSExperiment,
+    SMALL,
+    run_ps_experiment,
+    server_scenario,
+    worker_scenario,
+)
+from repro.experiments.workloads import ExperimentScale
+
+TINY = ExperimentScale(
+    name="tiny",
+    num_workers=4,
+    num_servers=2,
+    per_worker_batch=2048,
+    iterations=30,
+    batches_per_shard=1,
+    control_interval_s=10.0,
+    transient_window_s=10.0,
+    persistent_window_s=20.0,
+    kill_restart_cooldown_s=30.0,
+    idle_pending_time_s=2.0,
+    node_init_time_s=4.0,
+    worker_recovery_s=3.0,
+    server_recovery_s=4.0,
+)
+
+
+def test_bsp_clean_run_consumes_every_sample():
+    result = run_ps_experiment("bsp", scale=TINY, scenario=NO_STRAGGLERS, seed=0)
+    assert result.completed
+    assert result.samples_confirmed == result.total_samples
+    assert result.done_shards == result.total_shards
+    assert result.jct > 0
+
+
+def test_asp_clean_run_consumes_every_sample():
+    result = run_ps_experiment("asp", scale=TINY, scenario=NO_STRAGGLERS, seed=0)
+    assert result.completed
+    assert result.samples_confirmed == result.total_samples
+
+
+def test_worker_stragglers_slow_down_native_bsp():
+    clean = run_ps_experiment("bsp", scale=TINY, scenario=NO_STRAGGLERS, seed=0)
+    straggled = run_ps_experiment("bsp", scale=TINY, scenario=worker_scenario(0.8), seed=0)
+    assert straggled.jct > 1.5 * clean.jct
+
+
+def test_antdt_nd_beats_native_bsp_under_worker_stragglers():
+    scenario = worker_scenario(0.8)
+    bsp = run_ps_experiment("bsp", scale=TINY, scenario=scenario, seed=0)
+    antdt = run_ps_experiment("antdt-nd", scale=TINY, scenario=scenario, seed=0)
+    assert antdt.completed and bsp.completed
+    assert antdt.jct < bsp.jct
+    assert antdt.samples_confirmed == antdt.total_samples
+
+
+def test_antdt_nd_kill_restarts_persistent_server_straggler():
+    result = run_ps_experiment("antdt-nd", scale=TINY, scenario=server_scenario(0.8), seed=0)
+    assert result.completed
+    server_restarts = {node: count for node, count in result.restarts_per_node.items()
+                       if node.startswith("server") and count > 0}
+    assert server_restarts, "the straggling server should have been relaunched"
+    bsp = run_ps_experiment("bsp", scale=TINY, scenario=server_scenario(0.8), seed=0)
+    assert result.jct < bsp.jct
+
+
+def test_antdt_nd_adjusts_batch_sizes_under_transient_stragglers():
+    result = run_ps_experiment("antdt-nd", scale=SMALL, scenario=worker_scenario(0.8), seed=1)
+    adjust_actions = [a for a in result.action_log
+                      if a.action_type is ActionType.ADJUST_BS]
+    assert adjust_actions, "AntDT-ND should issue at least one ADJUST_BS action"
+    assert result.samples_confirmed == result.total_samples
+
+
+def test_backup_workers_drop_and_requeue_preserves_data():
+    result = run_ps_experiment("backup-workers", scale=TINY, scenario=worker_scenario(0.8),
+                               seed=0)
+    assert result.completed
+    assert result.dropped_iterations > 0
+    # At-least-once: everything still confirmed despite the drops.
+    assert result.samples_confirmed == result.total_samples
+    assert result.done_shards == result.total_shards
+
+
+def test_asp_dds_balances_consumption_better_than_static_asp():
+    scenario = worker_scenario(0.8)
+    static = run_ps_experiment("asp", scale=TINY, scenario=scenario, seed=0)
+    dds = run_ps_experiment("asp-dds", scale=TINY, scenario=scenario, seed=0)
+    assert dds.jct < static.jct
+    # With the DDS the straggler consumes fewer samples than the leaders.
+    consumed = dds.consumed_per_worker
+    straggler = "worker-3"  # the scenario's persistent straggler is the last worker
+    leaders = [v for k, v in consumed.items() if k != straggler]
+    assert consumed[straggler] < min(leaders)
+
+
+def test_worker_kill_restart_resumes_and_completes():
+    experiment = PSExperiment(method=get_method("antdt-nd"), scale=TINY,
+                              scenario=worker_scenario(1.0), seed=3)
+    job = experiment.build_job()
+    result = job.run()
+    assert result.completed
+    assert result.samples_confirmed == result.total_samples
+    assert sum(result.restarts_per_node.values()) >= 1
+    # The framework overhead stays a small fraction of the JCT.
+    assert result.overhead_fraction < 0.1
+
+
+def test_cluster_busy_gates_kill_restart():
+    scenario = worker_scenario(0.8)
+    experiment = PSExperiment(method=get_method("antdt-nd"), scale=TINY, scenario=scenario,
+                              seed=0, cluster_busy=True)
+    result = experiment.run()
+    assert result.completed
+    worker_restarts = sum(count for node, count in result.restarts_per_node.items()
+                          if node.startswith("worker"))
+    assert worker_restarts == 0
+
+
+def test_jct_monotone_in_straggler_intensity_for_bsp():
+    jcts = [run_ps_experiment("bsp", scale=TINY, scenario=worker_scenario(i), seed=0).jct
+            for i in (0.1, 0.5, 0.8)]
+    assert jcts[0] < jcts[1] < jcts[2]
+
+
+def test_antdt_jct_less_sensitive_to_intensity_than_bsp():
+    low_b = run_ps_experiment("bsp", scale=TINY, scenario=worker_scenario(0.1), seed=0).jct
+    high_b = run_ps_experiment("bsp", scale=TINY, scenario=worker_scenario(0.8), seed=0).jct
+    low_a = run_ps_experiment("antdt-nd", scale=TINY, scenario=worker_scenario(0.1), seed=0).jct
+    high_a = run_ps_experiment("antdt-nd", scale=TINY, scenario=worker_scenario(0.8), seed=0).jct
+    assert (high_a - low_a) < (high_b - low_b)

@@ -1,0 +1,356 @@
+"""Unit tests for actions, detection, solvers, monitor, agents and solutions."""
+
+import pytest
+
+from repro.core.actions import (
+    ActionKind,
+    ActionType,
+    AdjustBatchSize,
+    AdjustLearningRate,
+    BackupWorkers,
+    KillRestart,
+    NoneAction,
+)
+from repro.core.agent import AgentGroup
+from repro.core.config import AntDTConfig, ConsistencyModel
+from repro.core.controller import ControlContext
+from repro.core.detection import classify_stragglers, detect_stragglers
+from repro.core.monitor import Monitor
+from repro.core.solutions import AntDTDD, AntDTND
+from repro.core.solvers import DeviceGroup, solve_batch_sizes, solve_gradient_accumulation
+from repro.baselines.solutions import AdjustLRSolution, LBBSPSolution, NoMitigationSolution
+from repro.sim.failures import ErrorCode, NodeFailure
+
+
+# ------------------------------------------------------------------------------- actions
+def test_action_kinds_and_types():
+    assert AdjustBatchSize(batch_sizes={"w0": 10}).kind is ActionKind.GLOBAL
+    assert KillRestart(node_name="w0").kind is ActionKind.NODE
+    assert NoneAction().kind is ActionKind.NONE
+    assert BackupWorkers(num_backup=1).action_type is ActionType.BACKUP_WORKERS
+    assert AdjustLearningRate(factors={"w0": 0.5}).action_type is ActionType.ADJUST_LR
+
+
+def test_adjust_batch_size_validation_and_effective_batch():
+    with pytest.raises(ValueError):
+        AdjustBatchSize(batch_sizes={})
+    with pytest.raises(ValueError):
+        AdjustBatchSize(batch_sizes={"w0": 0})
+    action = AdjustBatchSize(batch_sizes={"w0": 32}, grad_accumulation={"w0": 3})
+    assert action.effective_batch("w0") == 96
+    assert "w0=32" in action.describe()
+
+
+def test_kill_restart_requires_node_name():
+    with pytest.raises(ValueError):
+        KillRestart(node_name="")
+
+
+def test_adjust_lr_validation():
+    with pytest.raises(ValueError):
+        AdjustLearningRate(factors={"w0": 0.0})
+
+
+def test_backup_workers_validation():
+    with pytest.raises(ValueError):
+        BackupWorkers(num_backup=-1)
+
+
+# ------------------------------------------------------------------------------ detection
+def test_detect_stragglers_flags_slow_nodes():
+    report = detect_stragglers({"w0": 1.0, "w1": 1.1, "w2": 5.0}, slowness_ratio=1.5)
+    assert report.stragglers == ["w2"]
+    assert report.relative_slowness("w2") > 1.5
+    assert not report.is_straggler("w0")
+
+
+def test_detect_stragglers_empty_input():
+    report = detect_stragglers({}, slowness_ratio=1.5)
+    assert report.stragglers == []
+
+
+def test_detect_stragglers_requires_ratio_above_one():
+    with pytest.raises(ValueError):
+        detect_stragglers({"w0": 1.0}, slowness_ratio=1.0)
+
+
+def test_classify_stragglers_splits_transient_and_persistent():
+    short = {"w0": 1.0, "w1": 4.0, "w2": 1.0, "w3": 4.0}
+    long = {"w0": 1.0, "w1": 1.1, "w2": 1.0, "w3": 4.0}
+    groups = classify_stragglers(short, long, slowness_ratio=1.5)
+    assert groups["persistent"] == ["w3"]
+    assert groups["transient"] == ["w1"]
+
+
+# -------------------------------------------------------------------------------- solvers
+def test_solve_batch_sizes_sum_and_proportionality():
+    sizes = solve_batch_sizes({"fast": 400.0, "slow": 100.0}, global_batch=1000)
+    assert sum(sizes.values()) == 1000
+    assert sizes["fast"] > sizes["slow"]
+
+
+def test_solve_batch_sizes_respects_min_batch():
+    sizes = solve_batch_sizes({"fast": 1000.0, "slow": 1.0}, global_batch=100, min_batch=20)
+    assert sizes["slow"] >= 20
+    assert sum(sizes.values()) == 100
+
+
+def test_solve_batch_sizes_respects_max_batch():
+    sizes = solve_batch_sizes({"a": 10.0, "b": 10.0}, global_batch=100,
+                              max_batch={"a": 30, "b": 100})
+    assert sizes["a"] <= 30
+    assert sum(sizes.values()) == 100
+
+
+def test_solve_batch_sizes_infeasible_min():
+    with pytest.raises(ValueError):
+        solve_batch_sizes({"a": 1.0, "b": 1.0}, global_batch=10, min_batch=20)
+
+
+def test_solve_batch_sizes_rejects_non_positive_throughput():
+    with pytest.raises(ValueError):
+        solve_batch_sizes({"a": 0.0}, global_batch=10)
+
+
+def test_solve_gradient_accumulation_balances_heterogeneous_groups():
+    groups = [
+        DeviceGroup(name="V100", count=4, throughput=360.0, min_batch=64, max_batch=192),
+        DeviceGroup(name="P100", count=4, throughput=120.0, min_batch=32, max_batch=96),
+    ]
+    plans = solve_gradient_accumulation(groups, global_batch=768)
+    by_name = {plan.group: plan for plan in plans}
+    total = sum(g.count * by_name[g.name].samples_per_sync for g in groups)
+    assert abs(total - 768) <= sum(g.count for g in groups) * 5
+    # The fast device takes a larger per-sync share than the slow one.
+    assert by_name["V100"].samples_per_sync > by_name["P100"].samples_per_sync
+    # Step times are reasonably balanced.
+    times = [plan.step_time for plan in plans]
+    assert max(times) / min(times) < 2.5
+
+
+def test_solve_gradient_accumulation_infeasible_batch():
+    groups = [DeviceGroup(name="g", count=1, throughput=100.0, min_batch=10, max_batch=20)]
+    with pytest.raises(ValueError):
+        solve_gradient_accumulation(groups, global_batch=100000, max_accumulation=1)
+
+
+def test_device_group_validation():
+    with pytest.raises(ValueError):
+        DeviceGroup(name="g", count=0, throughput=1.0, min_batch=1, max_batch=2)
+    with pytest.raises(ValueError):
+        DeviceGroup(name="g", count=1, throughput=1.0, min_batch=5, max_batch=2)
+
+
+# -------------------------------------------------------------------------------- monitor
+def test_monitor_sliding_window_means():
+    monitor = Monitor()
+    monitor.report_worker("w0", bpt=1.0, batch_size=100, time=10.0)
+    monitor.report_worker("w0", bpt=3.0, batch_size=100, time=20.0)
+    monitor.report_worker("w1", bpt=2.0, batch_size=100, time=20.0)
+    means = monitor.worker_bpt_means(window_s=15.0, now=25.0)
+    assert means["w0"] == pytest.approx(3.0)
+    assert means["w1"] == pytest.approx(2.0)
+    assert set(monitor.known_workers) == {"w0", "w1"}
+
+
+def test_monitor_throughput_derivation():
+    monitor = Monitor()
+    monitor.report_worker("w0", bpt=2.0, batch_size=200, time=5.0)
+    throughput = monitor.worker_throughputs(window_s=10.0, now=6.0)
+    assert throughput["w0"] == pytest.approx(100.0)
+
+
+def test_monitor_third_party_provider():
+    monitor = Monitor()
+    monitor.register_third_party("pending_time", lambda: 42.0)
+    assert monitor.third_party("pending_time") == 42.0
+    assert monitor.third_party("unknown", default=7.0) == 7.0
+
+
+def test_monitor_node_events():
+    monitor = Monitor()
+    failure = NodeFailure(node_name="w0", code=ErrorCode.JOB_EVICTION, time=3.0)
+    monitor.report_node_event(failure)
+    assert monitor.node_events("w0") == [failure]
+    assert monitor.node_events("w1") == []
+
+
+def test_monitor_rejects_invalid_reports():
+    monitor = Monitor()
+    with pytest.raises(ValueError):
+        monitor.report_worker("w0", bpt=-1.0, batch_size=10, time=0.0)
+    with pytest.raises(ValueError):
+        monitor.report_server("s0", bpt=-1.0, time=0.0)
+
+
+# --------------------------------------------------------------------------------- agents
+def _agent_group(report_interval=2):
+    config = AntDTConfig(report_interval_iters=report_interval)
+    return AgentGroup(Monitor(), config)
+
+
+def test_agent_group_primary_election_and_broadcast():
+    group = _agent_group()
+    first = group.create_agent("w0")
+    second = group.create_agent("w1")
+    assert first.is_primary and not second.is_primary
+    generation = group.broadcast(AdjustBatchSize(batch_sizes={"w0": 1, "w1": 2}))
+    assert generation == 1
+    actions, overhead = second.poll()
+    assert len(actions) == 1 and overhead > 0
+    # Polling again returns nothing new and charges nothing.
+    actions, overhead = second.poll()
+    assert actions == [] and overhead == 0.0
+
+
+def test_agent_reports_flush_every_interval():
+    group = _agent_group(report_interval=3)
+    agent = group.create_agent("w0")
+    assert agent.report_iteration(1.0, 10, time=1.0) == 0.0
+    assert agent.report_iteration(2.0, 10, time=2.0) == 0.0
+    charge = agent.report_iteration(3.0, 10, time=3.0)
+    assert charge > 0
+    means = group.monitor.worker_bpt_means(window_s=10.0, now=4.0)
+    assert means["w0"] == pytest.approx(2.0)
+
+
+def test_agent_reset_after_restart_skips_stale_actions():
+    group = _agent_group()
+    agent = group.create_agent("w0")
+    group.broadcast(NoneAction())
+    agent.reset_after_restart()
+    actions, _ = agent.poll()
+    assert actions == []
+
+
+def test_agent_group_rejects_duplicate_agents():
+    group = _agent_group()
+    group.create_agent("w0")
+    with pytest.raises(ValueError):
+        group.create_agent("w0")
+
+
+# ------------------------------------------------------------------------------ solutions
+def _context(short, long, servers=None, throughputs=None, busy=False,
+             consistency=ConsistencyModel.BSP, workers=None):
+    workers = workers if workers is not None else sorted(short)
+    throughputs = throughputs if throughputs is not None else {w: 100.0 for w in workers}
+    return ControlContext(
+        now=1000.0,
+        config=AntDTConfig(),
+        consistency=consistency,
+        global_batch_size=1000,
+        active_workers=workers,
+        active_servers=sorted(servers) if servers else [],
+        worker_short_bpts=short,
+        worker_long_bpts=long,
+        worker_throughputs=throughputs,
+        server_long_bpts=servers or {},
+        cluster_busy=busy,
+    )
+
+
+def test_antdt_nd_adjusts_batch_size_for_transient_stragglers():
+    ctx = _context(short={"w0": 1.0, "w1": 1.0, "w2": 4.0},
+                   long={"w0": 1.0, "w1": 1.0, "w2": 1.0},
+                   throughputs={"w0": 400.0, "w1": 400.0, "w2": 100.0})
+    actions = AntDTND().decide(ctx)
+    assert any(isinstance(action, AdjustBatchSize) for action in actions)
+
+
+def test_antdt_nd_kills_persistent_worker_straggler():
+    ctx = _context(short={"w0": 1.0, "w1": 1.0, "w2": 5.0},
+                   long={"w0": 1.0, "w1": 1.0, "w2": 5.0})
+    actions = AntDTND().decide(ctx)
+    kills = [a for a in actions if isinstance(a, KillRestart)]
+    assert len(kills) == 1 and kills[0].node_name == "w2"
+
+
+def test_antdt_nd_defers_kill_restart_when_cluster_busy():
+    ctx = _context(short={"w0": 1.0, "w1": 5.0}, long={"w0": 1.0, "w1": 5.0}, busy=True)
+    actions = AntDTND().decide(ctx)
+    assert not any(isinstance(a, KillRestart) for a in actions)
+
+
+def test_antdt_nd_kills_server_straggler():
+    ctx = _context(short={"w0": 1.0, "w1": 1.0}, long={"w0": 1.0, "w1": 1.0},
+                   servers={"s0": 0.1, "s1": 2.0})
+    actions = AntDTND().decide(ctx)
+    kills = [a for a in actions if isinstance(a, KillRestart)]
+    assert [k.node_name for k in kills] == ["s1"]
+
+
+def test_antdt_nd_asp_mode_never_adjusts_batch_size():
+    ctx = _context(short={"w0": 1.0, "w1": 4.0}, long={"w0": 1.0, "w1": 1.0},
+                   consistency=ConsistencyModel.ASP)
+    actions = AntDTND().decide(ctx)
+    assert not any(isinstance(a, AdjustBatchSize) for a in actions)
+
+
+def test_antdt_nd_returns_none_action_when_healthy():
+    ctx = _context(short={"w0": 1.0, "w1": 1.0}, long={"w0": 1.0, "w1": 1.0})
+    actions = AntDTND().decide(ctx)
+    assert len(actions) == 1 and isinstance(actions[0], NoneAction)
+
+
+def test_antdt_nd_respects_restart_budget():
+    ctx = _context(short={"w0": 1.0, "w1": 5.0}, long={"w0": 1.0, "w1": 5.0})
+    ctx.restarts_per_node = {"w1": AntDTConfig().max_kill_restarts_per_node}
+    actions = AntDTND().decide(ctx)
+    assert not any(isinstance(a, KillRestart) for a in actions)
+
+
+def test_antdt_dd_emits_single_adjustment_with_accumulation():
+    groups = [
+        DeviceGroup(name="V100", count=1, throughput=360.0, min_batch=64, max_batch=192),
+        DeviceGroup(name="P100", count=1, throughput=120.0, min_batch=32, max_batch=96),
+    ]
+    solution = AntDTDD(groups, {"w0": "V100", "w1": "P100"})
+    ctx = _context(short={"w0": 1.0, "w1": 1.0}, long={"w0": 1.0, "w1": 1.0})
+    ctx = ControlContext(**{**ctx.__dict__, "global_batch_size": 256})
+    first = solution.decide(ctx)
+    assert isinstance(first[0], AdjustBatchSize)
+    assert first[0].grad_accumulation is not None
+    second = solution.decide(ctx)
+    assert isinstance(second[0], NoneAction)
+
+
+def test_antdt_dd_validates_worker_group_mapping():
+    groups = [DeviceGroup(name="V100", count=1, throughput=360.0, min_batch=64, max_batch=192)]
+    with pytest.raises(ValueError):
+        AntDTDD(groups, {"w0": "unknown-group"})
+
+
+def test_lb_bsp_solution_rebalances_proportionally():
+    ctx = _context(short={"w0": 1.0, "w1": 2.0}, long={"w0": 1.0, "w1": 2.0},
+                   throughputs={"w0": 300.0, "w1": 100.0})
+    actions = LBBSPSolution().decide(ctx)
+    assert isinstance(actions[0], AdjustBatchSize)
+    sizes = actions[0].batch_sizes
+    assert sizes["w0"] > sizes["w1"]
+    assert sum(sizes.values()) == 1000
+
+
+def test_lb_bsp_solution_skips_small_changes():
+    solution = LBBSPSolution(rebalance_threshold=0.5)
+    ctx = _context(short={"w0": 1.0, "w1": 1.0}, long={"w0": 1.0, "w1": 1.0},
+                   throughputs={"w0": 101.0, "w1": 100.0})
+    first = solution.decide(ctx)
+    second = solution.decide(ctx)
+    assert isinstance(first[0], AdjustBatchSize)
+    assert isinstance(second[0], NoneAction)
+
+
+def test_no_mitigation_solution_is_inert():
+    ctx = _context(short={"w0": 9.0, "w1": 1.0}, long={"w0": 9.0, "w1": 1.0})
+    assert isinstance(NoMitigationSolution().decide(ctx)[0], NoneAction)
+
+
+def test_adjust_lr_solution_penalises_stragglers_once():
+    solution = AdjustLRSolution(penalty=0.5)
+    ctx = _context(short={"w0": 1.0, "w1": 5.0}, long={"w0": 1.0, "w1": 5.0})
+    first = solution.decide(ctx)
+    assert isinstance(first[0], AdjustLearningRate)
+    assert first[0].factors == {"w1": 0.5}
+    second = solution.decide(ctx)
+    assert isinstance(second[0], NoneAction)
