@@ -1,0 +1,81 @@
+"""Perf smoke test: fast floor checks on engine throughput and the reporter.
+
+Tier-1-safe (runs in well under five seconds, no pytest-benchmark rounds):
+it fails fast when a change regresses the simulation engine below a very
+conservative events/second floor, when the optimised engine stops beating the
+frozen seed snapshot on the pure-engine workload, or when the
+``BENCH_engine.json`` reporter stops producing valid, mergeable output.
+"""
+
+import json
+
+from conftest import BENCH_SCALE
+
+from repro.experiments.runner import run_ps_experiment
+from repro.experiments.stragglers import worker_scenario
+from repro.perf import PerfReporter, Stopwatch, measure_seed_speedup
+
+#: Very conservative floor (events processed per wall second) so the check
+#: stays green on slow CI machines; the optimised engine sustains well over
+#: 100k events/s on a developer machine.
+EVENTS_PER_SEC_FLOOR = 20_000.0
+
+
+def test_perf_smoke_engine_floor_and_report(tmp_path):
+    # 1. Engine-only comparison: optimised engine vs. frozen seed snapshot on
+    # the identical PS-shaped event workload, interleaved on this machine.
+    comparison = measure_seed_speedup(num_workers=BENCH_SCALE.num_workers,
+                                      num_servers=BENCH_SCALE.num_servers,
+                                      iterations=BENCH_SCALE.iterations, repeats=3)
+    assert comparison["optimized"]["events_per_sec"] >= EVENTS_PER_SEC_FLOOR
+    assert comparison["speedup_vs_seed"] > 1.0, (
+        "optimised engine no longer beats the seed snapshot: "
+        f"{comparison['speedup_vs_seed']:.2f}x"
+    )
+
+    # 2. Full bench-scale scenario throughput (engine + consumers), read from
+    # the engine counters the run result now carries.
+    watch = Stopwatch()
+    with watch:
+        result = run_ps_experiment("antdt-nd", scale=BENCH_SCALE,
+                                   scenario=worker_scenario(0.8), seed=0)
+    wall = watch.elapsed
+    assert result.completed
+    scenario_events = result.engine_events_processed
+    assert scenario_events > 0
+    scenario_eps = scenario_events / wall if wall > 0 else float("inf")
+    assert scenario_eps >= EVENTS_PER_SEC_FLOOR
+
+    # 3. Reporter round trip into a scratch directory: valid JSON, mergeable.
+    path = tmp_path / "BENCH_engine.json"
+    reporter = PerfReporter(path)
+    reporter.add("bench_nd_scenario", wall_s=wall, events_processed=float(scenario_events),
+                 events_per_sec=scenario_eps, num_workers=float(BENCH_SCALE.num_workers),
+                 sim_time=result.jct, jct_s=result.jct)
+    document = json.loads(reporter.write().read_text())
+    assert document["benchmark"] == "engine"
+    assert "bench_nd_scenario" in document["scenarios"]
+    assert document["scenarios"]["bench_nd_scenario"]["events_per_sec"] > 0
+    # Merging keeps prior scenarios from other benchmark modules.
+    second = PerfReporter(path)
+    second.add("merge_probe", wall_s=0.0)
+    merged = json.loads(second.write().read_text())
+    assert "bench_nd_scenario" in merged["scenarios"]
+    assert "merge_probe" in merged["scenarios"]
+
+    # 4. Update the canonical trajectory file at the repository root.
+    canonical = PerfReporter()
+    canonical.add("engine_microbench_seed", **comparison["seed"])
+    canonical.add("engine_microbench_optimized", **comparison["optimized"],
+                  speedup_vs_seed=comparison["speedup_vs_seed"])
+    canonical.add("bench_nd_scenario", wall_s=wall, events_processed=float(scenario_events),
+                  events_per_sec=scenario_eps, num_workers=float(BENCH_SCALE.num_workers),
+                  sim_time=result.jct, jct_s=result.jct)
+    canonical.write()
+
+    print("\nPerf smoke:")
+    print(f"  engine microbench: seed {comparison['seed']['events_per_sec']:,.0f} ev/s, "
+          f"optimized {comparison['optimized']['events_per_sec']:,.0f} ev/s "
+          f"({comparison['speedup_vs_seed']:.2f}x)")
+    print(f"  bench ND scenario: {scenario_events} events in {wall*1e3:.1f} ms "
+          f"({scenario_eps:,.0f} ev/s)")

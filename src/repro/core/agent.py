@@ -176,7 +176,13 @@ class Agent:
         new — polling shared state is free; the local barrier is only needed
         when an action actually has to be applied).
         """
-        pending = self.group.actions_since(self.applied_generation)
+        group = self.group
+        if group.generation == self.applied_generation:
+            # Nothing broadcast since the last application — by far the common
+            # case, checked without building the actions_since list (poll runs
+            # once per worker iteration).
+            return [], 0.0
+        pending = group.actions_since(self.applied_generation)
         if not pending:
             return [], 0.0
         self.applied_generation = pending[-1][0]

@@ -42,8 +42,12 @@ def detect_stragglers(bpts: Mapping[str, float], slowness_ratio: float) -> Strag
     Parameters
     ----------
     bpts:
-        Sliding-window mean BPT per node.  Nodes without data should simply be
-        omitted from the mapping.
+        Sliding-window mean BPT per node, as produced by
+        :meth:`~repro.core.monitor.Monitor.worker_bpt_means` /
+        ``server_bpt_means`` (half-open ``(now - window, now]`` windows; the
+        first window of a run is widened to include observations recorded
+        exactly at t=0 — see ``Monitor._window_start``).  Nodes without data
+        should simply be omitted from the mapping.
     slowness_ratio:
         The λ factor (must be > 1).
     """

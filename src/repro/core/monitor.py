@@ -16,6 +16,7 @@ AntDT-ND solution) on top of :class:`~repro.sim.metrics.MetricsRecorder`.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, List, Optional
 
 from ..sim.failures import NodeFailure
@@ -94,18 +95,38 @@ class Monitor:
         """Servers that have reported at least once."""
         return list(self._servers)
 
+    @staticmethod
+    def _window_start(window_s: float, now: float) -> float:
+        """Left edge of the sliding window ending at ``now``.
+
+        Window queries use half-open ``(start, now]`` intervals so consecutive
+        windows never double count an observation.  For the *first* window of
+        a run the naive ``now - window_s`` start would silently exclude an
+        observation recorded exactly at t=0 (``bisect_right`` places it at the
+        open edge); when the window reaches back to (or past) the start of the
+        run there is no previous window that could have claimed the boundary
+        observation, so the window is widened to cover everything up to
+        ``now``.
+        """
+        start = now - window_s
+        return start if start > 0.0 else -math.inf
+
     def worker_bpt_means(self, window_s: float, now: float) -> Dict[str, float]:
         """Sliding-window mean BPT per worker over ``(now - window_s, now]``."""
-        return self.metrics.per_tag_window_means(self.WORKER_BPT, now - window_s, now)
+        return self.metrics.per_tag_window_means(
+            self.WORKER_BPT, self._window_start(window_s, now), now)
 
     def server_bpt_means(self, window_s: float, now: float) -> Dict[str, float]:
         """Sliding-window mean BPT per server."""
-        return self.metrics.per_tag_window_means(self.SERVER_BPT, now - window_s, now)
+        return self.metrics.per_tag_window_means(
+            self.SERVER_BPT, self._window_start(window_s, now), now)
 
     def worker_throughputs(self, window_s: float, now: float) -> Dict[str, float]:
         """Sliding-window mean throughput (samples/s) per worker — the v_i of Eq. 3."""
-        return self.metrics.per_tag_window_means(self.WORKER_THROUGHPUT, now - window_s, now)
+        return self.metrics.per_tag_window_means(
+            self.WORKER_THROUGHPUT, self._window_start(window_s, now), now)
 
     def worker_batch_sizes(self, window_s: float, now: float) -> Dict[str, float]:
         """Sliding-window mean batch size per worker."""
-        return self.metrics.per_tag_window_means(self.WORKER_BATCH, now - window_s, now)
+        return self.metrics.per_tag_window_means(
+            self.WORKER_BATCH, self._window_start(window_s, now), now)

@@ -238,6 +238,9 @@ class StatefulDDS(DataAllocator):
 
     # -- allocator protocol -------------------------------------------------------
     def register_worker(self, worker: str) -> None:
+        if worker in self._outstanding:
+            # Already registered; next_range calls this once per fetch.
+            return
         self._consumed.setdefault(worker, 0)
         self._shards_taken.setdefault(worker, 0)
         self._current_shard.setdefault(worker, None)

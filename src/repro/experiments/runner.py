@@ -67,6 +67,10 @@ class PSExperiment:
                 epochs=epochs,
                 shuffler=ShardShuffler(seed=self.seed),
                 op_cost_s=cfg.dds_op_overhead_s,
+                # Per-sample coverage counters cost a numpy slice-add on every
+                # confirmed range; only the integrity experiments read them
+                # (they build their own allocator with track_coverage=True).
+                track_coverage=False,
                 # Keep the shard granularity proportional to the global batch
                 # (as in the paper, where a shard covers M global batches) but
                 # never below two worker-batches, so the scaled-down runs

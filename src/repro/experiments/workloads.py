@@ -88,10 +88,54 @@ class ExperimentScale:
         """Samples per epoch, chosen so the run lasts ``iterations`` iterations."""
         return self.global_batch_size * max(1, self.iterations // self.epochs)
 
+    @staticmethod
+    def default_servers(num_workers: int) -> int:
+        """The paper's roughly 3:1 worker:server provisioning ratio."""
+        return max(1, num_workers // 3)
+
     def with_workers(self, num_workers: int, num_servers: Optional[int] = None) -> "ExperimentScale":
         """A copy of this scale with a different cluster size (Fig. 18 sweeps)."""
-        servers = num_servers if num_servers is not None else max(1, num_workers // 3)
+        servers = num_servers if num_servers is not None else self.default_servers(num_workers)
         return replace(self, num_workers=num_workers, num_servers=servers)
+
+    @classmethod
+    def for_workers(cls, num_workers: int, *, num_servers: Optional[int] = None,
+                    iterations: Optional[int] = None, name: Optional[str] = None,
+                    ) -> "ExperimentScale":
+        """Factory for large-cluster scales (the perf scale sweep).
+
+        Produces a coherent configuration for an arbitrary worker count:
+        servers follow the paper's roughly 3:1 worker:server ratio, a reduced
+        fixed per-worker batch (1024 vs. the bench scale's 4096) keeps the
+        linearly growing global batch moderate, and the iteration count
+        shrinks with the cluster size so the total simulated event count —
+        and hence benchmark wall time — grows near-linearly rather than
+        quadratically as workers are added.  Timing knobs keep the bench-scale
+        ratios (windows vs. straggler period vs. restart cost).
+        """
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        servers = num_servers if num_servers is not None else cls.default_servers(num_workers)
+        if iterations is None:
+            iterations = max(12, min(60, 2400 // num_workers))
+        return cls(
+            name=name if name is not None else f"scale-{num_workers}w",
+            num_workers=num_workers,
+            num_servers=servers,
+            per_worker_batch=1024,
+            iterations=iterations,
+            batches_per_shard=1,
+            control_interval_s=20.0,
+            transient_window_s=20.0,
+            persistent_window_s=45.0,
+            kill_restart_cooldown_s=60.0,
+            straggler_period_s=90.0,
+            straggler_active_s=45.0,
+            idle_pending_time_s=5.0,
+            node_init_time_s=10.0,
+            worker_recovery_s=8.0,
+            server_recovery_s=12.0,
+        )
 
 
 SMALL = ExperimentScale(

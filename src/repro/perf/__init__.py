@@ -1,0 +1,35 @@
+"""Performance-tracking subsystem (``repro.perf``).
+
+The simulator's throughput is the ceiling on how large a cluster the
+reproduction can replay, so this package makes engine performance a tracked,
+first-class quantity:
+
+* :class:`Stopwatch` / :class:`Counter` — wall-clock timing and tallies for
+  benchmark harnesses (:mod:`repro.perf.timing`).
+* :class:`EngineStats` — events scheduled/processed per run, read from the
+  engine's native counters (:mod:`repro.perf.stats`).
+* :class:`PerfReporter` — merges per-scenario entries into the
+  ``BENCH_engine.json`` trajectory file (:mod:`repro.perf.report`).
+* :mod:`repro.perf.workload` — a pure-engine PS-shaped scenario replayable on
+  both the live engine and the frozen seed snapshot
+  (:mod:`repro.perf.seed_engine`), yielding an honest speedup figure.
+
+See BENCHMARKS.md at the repository root for the file format and workflow.
+"""
+
+from .report import BENCH_DIR_ENV, PerfReporter, bench_output_path
+from .stats import EngineStats
+from .timing import Counter, Stopwatch
+from .workload import measure_engine, measure_seed_speedup, run_engine_scenario
+
+__all__ = [
+    "BENCH_DIR_ENV",
+    "Counter",
+    "EngineStats",
+    "PerfReporter",
+    "Stopwatch",
+    "bench_output_path",
+    "measure_engine",
+    "measure_seed_speedup",
+    "run_engine_scenario",
+]

@@ -1,0 +1,114 @@
+"""JSON perf reporting: the ``BENCH_engine.json`` trajectory file.
+
+Benchmarks record one entry per scenario (events/sec, wall seconds, simulated
+seconds, cluster size, speedup vs. the frozen seed engine) through
+:class:`PerfReporter`; the reporter merges its entries into the existing
+``BENCH_engine.json`` on disk so several benchmark files — and several PRs —
+accumulate into one comparable trajectory.  See BENCHMARKS.md for the file
+format and how to compare runs across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+__all__ = ["PerfReporter", "bench_output_path"]
+
+#: Environment variable overriding the directory BENCH_engine.json is written to.
+BENCH_DIR_ENV = "REPRO_BENCH_DIR"
+
+_BENCH_FILENAME = "BENCH_engine.json"
+
+
+def bench_output_path(filename: str = _BENCH_FILENAME) -> Path:
+    """Resolve where the benchmark JSON lives.
+
+    Defaults to the repository root (the directory containing this package's
+    ``src`` tree) so running the benchmarks from any working directory updates
+    one canonical file; ``REPRO_BENCH_DIR`` overrides the directory.
+    """
+    override = os.environ.get(BENCH_DIR_ENV)
+    if override:
+        return Path(override) / filename
+    # src/repro/perf/report.py -> src/repro/perf -> src/repro -> src -> root
+    root = Path(__file__).resolve().parent.parent.parent.parent
+    return root / filename
+
+
+class PerfReporter:
+    """Collects per-scenario perf entries and writes ``BENCH_engine.json``.
+
+    Example
+    -------
+    >>> reporter = PerfReporter()
+    >>> reporter.add("bench_nd", wall_s=0.05, events_processed=5800,
+    ...              events_per_sec=116000.0, num_workers=6)
+    >>> path = reporter.write()                # doctest: +SKIP
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(path) if path is not None else bench_output_path()
+        self._scenarios: Dict[str, Dict[str, Any]] = {}
+
+    def add(self, name: str, **fields: Any) -> Dict[str, Any]:
+        """Record (or update) the entry for scenario ``name``."""
+        entry = self._scenarios.setdefault(name, {})
+        for key, value in fields.items():
+            if value is None:
+                continue
+            if isinstance(value, float):
+                # Bounded precision keeps the JSON diffable across runs.
+                value = round(value, 6)
+            entry[key] = value
+        return entry
+
+    @property
+    def scenarios(self) -> Dict[str, Dict[str, Any]]:
+        """The entries recorded so far."""
+        return {name: dict(entry) for name, entry in self._scenarios.items()}
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The full report document (metadata plus scenarios)."""
+        return {
+            "benchmark": "engine",
+            "updated_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.localtime()),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "scenarios": self.scenarios,
+        }
+
+    def write(self) -> Path:
+        """Merge this report into ``self.path`` and return the path.
+
+        Scenarios already on disk but not re-recorded in this run are kept, so
+        the smoke test and the scale sweep (separate pytest modules) both
+        contribute to one file.
+        """
+        document = self.to_dict()
+        existing = self.load(self.path)
+        if existing is not None:
+            merged = dict(existing.get("scenarios", {}))
+            merged.update(document["scenarios"])
+            document["scenarios"] = merged
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return self.path
+
+    @staticmethod
+    def load(path: Optional[Union[str, Path]] = None) -> Optional[Dict[str, Any]]:
+        """Read an existing report (None when absent or unreadable)."""
+        target = Path(path) if path is not None else bench_output_path()
+        try:
+            with open(target, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return data if isinstance(data, dict) else None

@@ -1,4 +1,10 @@
-"""Discrete-event simulation engine.
+"""Frozen snapshot of the seed discrete-event engine (perf baseline).
+
+This module is a verbatim copy of ``repro.sim.engine`` as it stood before the
+engine fast-path optimisations, kept so the perf harness can measure the
+optimised engine against the exact seed implementation on the same machine
+and report an honest speedup in ``BENCH_engine.json``.  Do not optimise or
+otherwise edit this file; it is not used by the simulator itself.
 
 This module is the foundation substrate for the whole reproduction.  The paper
 evaluates AntDT on physical Ant Group clusters; here every timing phenomenon
@@ -45,7 +51,6 @@ __all__ = [
     "Interrupt",
     "AllOf",
     "AnyOf",
-    "CountdownEvent",
     "Store",
     "StopSimulation",
     "PENDING",
@@ -96,8 +101,6 @@ class Event:
     heap), and *processed* (callbacks have run).
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
-
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
@@ -137,13 +140,11 @@ class Event:
     # -- triggering -------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self._value is not PENDING:
+        if self.triggered:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        env = self.env
-        env.scheduled_count += 1
-        heapq.heappush(env._queue, (env._now, _NORMAL, next(env._eid), self))
+        self.env._schedule(self, _NORMAL)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -159,8 +160,6 @@ class Event:
 
     def trigger(self, event: "Event") -> None:
         """Copy the outcome of another event onto this one (callback helper)."""
-        if self._value is not PENDING:
-            raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = event._ok
         self._value = event._value
         self.env._schedule(self, _NORMAL)
@@ -171,32 +170,20 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` time units after creation.
-
-    Timeouts are by far the most frequent event type (every compute step,
-    network transfer and poll interval is one), so construction writes the
-    heap entry directly instead of going through :meth:`Environment._schedule`.
-    """
-
-    __slots__ = ("delay",)
+    """An event that fires ``delay`` time units after creation."""
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        self.env = env
-        self.callbacks = []
-        self._defused = False
+        super().__init__(env)
         self.delay = delay
         self._ok = True
         self._value = value
-        env.scheduled_count += 1
-        heapq.heappush(env._queue, (env._now + delay, _NORMAL, next(env._eid), self))
+        env._schedule(self, _NORMAL, delay)
 
 
 class _Initialize(Event):
     """Internal event that starts a :class:`Process` on the next step."""
-
-    __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
@@ -208,8 +195,6 @@ class _Initialize(Event):
 
 class _InterruptTrigger(Event):
     """Internal event that delivers an :class:`Interrupt` to a process."""
-
-    __slots__ = ()
 
     def __init__(self, process: "Process", cause: Any) -> None:
         super().__init__(process.env)
@@ -229,18 +214,12 @@ class Process(Event):
     triggers with the generator's return value when it finishes.
     """
 
-    __slots__ = ("_generator", "_target", "_send", "_throw")
-
     def __init__(self, env: "Environment", generator: Generator) -> None:
         if not hasattr(generator, "throw"):
             raise ValueError("Process requires a generator")
         super().__init__(env)
         self._generator = generator
         self._target: Optional[Event] = None
-        # Bound methods cached once: _resume runs once per processed event and
-        # the repeated attribute lookups through the generator add up.
-        self._send = generator.send
-        self._throw = generator.throw
         _Initialize(env, self)
 
     @property
@@ -267,8 +246,7 @@ class Process(Event):
 
     # -- driver -----------------------------------------------------------
     def _resume(self, event: Event) -> None:
-        env = self.env
-        env._active_process = self
+        self.env._active_process = self
         # Remove ourselves from the old target if we were pre-empted by an
         # interrupt while waiting on a different event.
         if self._target is not None and self._target is not event:
@@ -276,23 +254,22 @@ class Process(Event):
                 self._target.callbacks.remove(self._resume)
         self._target = None
 
-        send = self._send
         while True:
             try:
                 if event._ok:
-                    next_event = send(event._value)
+                    next_event = self._generator.send(event._value)
                 else:
                     event._defused = True
-                    next_event = self._throw(event._value)
+                    next_event = self._generator.throw(event._value)
             except StopIteration as exc:
                 self._ok = True
-                self._value = exc.value
-                env._schedule(self, _NORMAL)
+                self._value = getattr(exc, "value", None)
+                self.env._schedule(self, _NORMAL)
                 break
             except BaseException as exc:  # noqa: BLE001 - propagate into event graph
                 self._ok = False
                 self._value = exc
-                env._schedule(self, _NORMAL)
+                self.env._schedule(self, _NORMAL)
                 break
 
             if not isinstance(next_event, Event):
@@ -300,22 +277,21 @@ class Process(Event):
                     f"process yielded a non-event {next_event!r}; yield env.timeout(...) "
                     "or another Event instance"
                 )
-                event = Event(env)
+                event = Event(self.env)
                 event._ok = False
                 event._value = exc
                 continue
 
-            callbacks = next_event.callbacks
-            if callbacks is None:
+            if next_event.callbacks is None:
                 # Already processed: resume immediately with its outcome.
                 event = next_event
                 continue
 
-            callbacks.append(self._resume)
+            next_event.callbacks.append(self._resume)
             self._target = next_event
             break
 
-        env._active_process = None
+        self.env._active_process = None
 
 
 class _Condition(Event):
@@ -326,21 +302,14 @@ class _Condition(Event):
     carry their value from creation but only fire at their scheduled time.
     """
 
-    __slots__ = ("_events", "_done_count")
-
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
-        self.env = env
-        self.callbacks = []
-        self._value = PENDING
-        self._ok = None
-        self._defused = False
-        self._events = own_events = list(events)
+        super().__init__(env)
+        self._events = list(events)
         self._done_count = 0
-        for event in own_events:
+        for event in self._events:
             if not isinstance(event, Event):
                 raise ValueError(f"{event!r} is not an Event")
-        observe = self._observe
-        for event in own_events:
+        for event in self._events:
             if event.callbacks is None:
                 # Already processed before the condition was created.
                 if not event._ok:
@@ -350,7 +319,7 @@ class _Condition(Event):
                     return
                 self._done_count += 1
             else:
-                event.callbacks.append(observe)
+                event.callbacks.append(self._observe)
         self._check_done()
 
     def _observe(self, event: Event) -> None:
@@ -374,8 +343,6 @@ class _Condition(Event):
 class AllOf(_Condition):
     """Triggers once every event in ``events`` has been processed successfully."""
 
-    __slots__ = ()
-
     def _check_done(self) -> None:
         if self._done_count >= len(self._events) and not self.triggered:
             self.succeed(self._collect())
@@ -384,45 +351,9 @@ class AllOf(_Condition):
 class AnyOf(_Condition):
     """Triggers as soon as any event in ``events`` has been processed successfully."""
 
-    __slots__ = ()
-
     def _check_done(self) -> None:
         if not self.triggered and (self._done_count >= 1 or not self._events):
             self.succeed(self._collect())
-
-
-class CountdownEvent(Event):
-    """An event that succeeds after ``count`` calls to :meth:`count_down`.
-
-    The fan-in primitive for the one-producer-per-slot pattern (a worker
-    waiting for one acknowledgement from each parameter server): where
-    ``AllOf`` needs one pending event per producer plus the condition — each a
-    heap entry — a countdown latch is a single event and a decrement, which
-    at 100+ workers removes the dominant share of heap traffic.  It succeeds
-    with the value of the final ``count_down``.
-    """
-
-    __slots__ = ("_remaining",)
-
-    def __init__(self, env: "Environment", count: int) -> None:
-        if count <= 0:
-            raise ValueError("count must be positive")
-        super().__init__(env)
-        self._remaining = int(count)
-
-    @property
-    def remaining(self) -> int:
-        """Pending ``count_down`` calls before the event succeeds."""
-        return self._remaining
-
-    def count_down(self, value: Any = None) -> int:
-        """Record one completion; succeeds the event on the final call."""
-        if self._remaining <= 0:
-            raise RuntimeError(f"{self!r} has already been fully counted down")
-        self._remaining -= 1
-        if self._remaining == 0:
-            self.succeed(value)
-        return self._remaining
 
 
 class Store:
@@ -434,8 +365,6 @@ class Store:
     the Stateful DDS.
     """
 
-    __slots__ = ("env", "items", "_getters")
-
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.items: deque = deque()
@@ -444,54 +373,25 @@ class Store:
     def __len__(self) -> int:
         return len(self.items)
 
-    def _confirmation(self, item: Any) -> Event:
-        """Build the already-processed confirmation event ``put`` returns.
-
-        ``put`` never blocks, so its event exists only to report the inserted
-        item back to the caller; nothing ever registers a callback on it.
-        Returning it pre-processed (instead of scheduling a no-op heap entry
-        per message, as the seed engine did) keeps every ``put`` off the event
-        heap entirely.
-        """
-        event = Event(self.env)
-        event._ok = True
-        event._value = item
-        event.callbacks = None
-        return event
-
     def put(self, item: Any) -> Event:
         """Insert ``item`` and immediately satisfy a waiting getter if any."""
+        event = Event(self.env)
+        event.succeed(item)
         self.items.append(item)
-        if self._getters:
-            self._dispatch()
-        return self._confirmation(item)
-
-    def push(self, item: Any) -> None:
-        """``put`` without the confirmation event.
-
-        Hot-path variant for producers that discard ``put``'s return value
-        (e.g. the parameter servers' request queues): same queue semantics,
-        no per-message Event allocation.
-        """
-        self.items.append(item)
-        if self._getters:
-            self._dispatch()
+        self._dispatch()
+        return event
 
     def put_left(self, item: Any) -> Event:
         """Insert ``item`` at the head of the queue (priority re-insertion)."""
+        event = Event(self.env)
+        event.succeed(item)
         self.items.appendleft(item)
-        if self._getters:
-            self._dispatch()
-        return self._confirmation(item)
+        self._dispatch()
+        return event
 
     def get(self) -> Event:
         """Return an event that triggers with the next available item."""
         event = Event(self.env)
-        if self.items and not self._getters:
-            # Data ready and nobody queued ahead: equivalent to the event
-            # passing through the getter queue, minus the queue round trip.
-            event.succeed(self.items.popleft())
-            return event
         self._getters.append(event)
         self._dispatch()
         return event
@@ -525,23 +425,13 @@ class Store:
 
 
 class Environment:
-    """The simulation environment: clock, event heap and run loop.
-
-    The environment keeps two lightweight counters for the perf subsystem
-    (:mod:`repro.perf`): ``scheduled_count`` is the number of events that
-    entered the heap, ``processed_count`` the number whose callbacks ran.
-    """
-
-    __slots__ = ("_now", "_queue", "_eid", "_active_process",
-                 "scheduled_count", "processed_count")
+    """The simulation environment: clock, event heap and run loop."""
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._queue: List = []
         self._eid = itertools.count()
         self._active_process: Optional[Process] = None
-        self.scheduled_count = 0
-        self.processed_count = 0
 
     @property
     def now(self) -> float:
@@ -580,7 +470,6 @@ class Environment:
 
     # -- scheduling ---------------------------------------------------------
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
-        self.scheduled_count += 1
         heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
 
     def peek(self) -> float:
@@ -593,7 +482,6 @@ class Environment:
             raise RuntimeError("no more events scheduled")
         when, _priority, _eid, event = heapq.heappop(self._queue)
         self._now = when
-        self.processed_count += 1
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -621,29 +509,14 @@ class Environment:
             if stop_time < self._now:
                 raise ValueError(f"until={stop_time} lies in the past (now={self._now})")
 
-        # The dispatch loop below is `step()` inlined with the queue, heappop
-        # and counters bound to locals: one `step` runs per simulated event, so
-        # the attribute lookups per iteration dominate the engine's own cost.
-        queue = self._queue
-        heappop = heapq.heappop
-        processed = 0
         try:
-            while queue:
-                if queue[0][0] > stop_time:
+            while self._queue:
+                if self.peek() > stop_time:
                     self._now = stop_time
                     return None
-                when, _priority, _eid, event = heappop(queue)
-                self._now = when
-                processed += 1
-                callbacks, event.callbacks = event.callbacks, None
-                for callback in callbacks:
-                    callback(event)
-                if not event._ok and not event._defused:
-                    raise event._value
+                self.step()
         except StopSimulation as stop:
             return stop.args[0] if stop.args else None
-        finally:
-            self.processed_count += processed
 
         if stop_event is not None and not stop_event.triggered:
             raise RuntimeError("run(until=event) finished but the event never triggered")

@@ -104,9 +104,15 @@ class BSPBarrier:
     def _maybe_release(self, round_state: _Round, round_index: int = None) -> None:
         if round_state.released:
             return
-        present = {worker for worker in round_state.arrived if worker in self._members}
         required = self._required()
-        if required == 0 or len(present) >= required:
+        # len(arrived) bounds the present count from above, so the common
+        # early arrivals skip the membership scan entirely (scanning on every
+        # arrival made each barrier round quadratic in the worker count).
+        if required != 0 and len(round_state.arrived) < required:
+            return
+        members = self._members
+        present = sum(1 for worker in round_state.arrived if worker in members)
+        if required == 0 or present >= required:
             round_state.released = True
             if not round_state.release.triggered:
                 round_state.release.succeed(len(round_state.accepted))

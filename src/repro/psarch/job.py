@@ -20,7 +20,7 @@ from ..core.controller import Controller
 from ..core.monitor import Monitor
 from ..core.sharding import DataAllocator, StatefulDDS
 from ..core.solutions.base import Solution
-from ..sim.cluster import Cluster, Node, NodeRole
+from ..sim.cluster import Cluster, Node, NodeRole, NodeStatus
 from ..sim.engine import Environment
 from ..sim.metrics import MetricsRecorder
 from ..sim.scheduler import ClusterScheduler, PendingTimeModel
@@ -31,6 +31,8 @@ from .server import ParameterServer
 from .worker import PSWorker
 
 __all__ = ["PSRunResult", "PSTrainingJob"]
+
+_RUNNING = NodeStatus.RUNNING
 
 
 @dataclass
@@ -51,6 +53,9 @@ class PSRunResult:
     auc: Optional[float] = None
     metrics: Optional[MetricsRecorder] = None
     monitor: Optional[Monitor] = None
+    # Engine counters for the perf subsystem (events over the whole run).
+    engine_events_scheduled: int = 0
+    engine_events_processed: int = 0
 
     @property
     def jct(self) -> float:
@@ -119,7 +124,7 @@ class PSTrainingJob:
                     scheduler=self.scheduler,
                     metrics=self.metrics,
                     delay_fraction_provider=self._server_delay_fraction,
-                    report_stride_provider=lambda: max(1, len(self.active_worker_names())),
+                    report_stride_provider=self.active_worker_count,
                 )
             )
 
@@ -164,7 +169,25 @@ class PSTrainingJob:
         self._completion_event = env.event()
         self._samples_confirmed = 0
         self._exited_workers: List[str] = []
+        self._exited_worker_set: set = set()
         self._lr_factors: Dict[str, float] = {}
+
+        # The active-worker count sits on the per-push-request hot path (every
+        # server consults it for delay amortisation and report strides), so it
+        # is cached and only recomputed when a worker node changes lifecycle
+        # status or exits — scanning all workers per request made large
+        # clusters quadratic in the worker count.
+        self._active_worker_count: Optional[int] = None
+        self._server_fraction: Optional[float] = None
+        self._bsp = config.consistency is ConsistencyModel.BSP
+        for worker in self.workers:
+            worker.node.add_status_listener(self._on_worker_status_change)
+        # Cached series handle for the per-confirmation progress curve.
+        self._samples_done_series = self.metrics.series("samples_done")
+
+    def _on_worker_status_change(self, _node) -> None:
+        self._active_worker_count = None
+        self._server_fraction = None
 
     # -- internal hooks ------------------------------------------------------------
     def _server_delay_fraction(self) -> float:
@@ -176,15 +199,17 @@ class PSTrainingJob:
         backlogged server still coalesces a couple of pending pushes per
         update, so the per-push share of the delay is capped at one half.
         """
-        active = max(1, len(self.active_worker_names()))
-        if self.config.consistency is ConsistencyModel.BSP:
-            return 1.0 / active
-        return min(1.0, 2.0 / active)
+        fraction = self._server_fraction
+        if fraction is None:
+            active = max(1, self.active_worker_count())
+            fraction = 1.0 / active if self._bsp else min(1.0, 2.0 / active)
+            self._server_fraction = fraction
+        return fraction
 
     def notify_progress(self, num_samples: int, time: float) -> None:
         """Called by workers when a sample range is confirmed."""
         self._samples_confirmed += num_samples
-        self.metrics.record("samples_done", float(self._samples_confirmed), time)
+        self._samples_done_series.append(time, float(self._samples_confirmed))
         if self.allocator.exhausted and not self.completed:
             self.completed = True
             self.completion_time = time
@@ -193,8 +218,11 @@ class PSTrainingJob:
 
     def worker_exited(self, worker: str) -> None:
         """Called by a worker process when it leaves the training loop."""
-        if worker not in self._exited_workers:
+        if worker not in self._exited_worker_set:
             self._exited_workers.append(worker)
+            self._exited_worker_set.add(worker)
+            self._active_worker_count = None
+            self._server_fraction = None
         if not self.completed and len(self._exited_workers) == len(self.workers):
             # All workers left (e.g. the allocator ran dry through drops):
             # treat as completion so the run terminates.
@@ -211,11 +239,19 @@ class PSTrainingJob:
 
     def active_worker_names(self) -> List[str]:
         """Workers that are currently running (not restarting, not exited)."""
+        exited = self._exited_worker_set
         return [
             worker.name
             for worker in self.workers
-            if worker.node.is_running and worker.name not in self._exited_workers
+            if worker.name not in exited and worker.node.status is _RUNNING
         ]
+
+    def active_worker_count(self) -> int:
+        """Number of active workers (cached; see ``_on_worker_status_change``)."""
+        count = self._active_worker_count
+        if count is None:
+            count = self._active_worker_count = len(self.active_worker_names())
+        return count
 
     def active_server_names(self) -> List[str]:
         """Servers that are currently running."""
@@ -304,4 +340,6 @@ class PSTrainingJob:
             auc=auc_value,
             metrics=self.metrics,
             monitor=self.monitor,
+            engine_events_scheduled=self.env.scheduled_count,
+            engine_events_processed=self.env.processed_count,
         )

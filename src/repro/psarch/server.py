@@ -13,7 +13,7 @@ from typing import Callable, Optional
 
 from ..core.agent import Agent
 from ..sim.cluster import Node
-from ..sim.engine import Environment, Event, Interrupt, Store
+from ..sim.engine import CountdownEvent, Environment, Event, Interrupt, Store
 from ..sim.failures import ErrorCode
 from ..sim.metrics import MetricsRecorder
 from ..sim.scheduler import ClusterScheduler
@@ -22,7 +22,7 @@ from .config import PSJobConfig
 __all__ = ["PushRequest", "ParameterServer"]
 
 
-@dataclass
+@dataclass(slots=True)
 class PushRequest:
     """One worker->server gradient push awaiting processing."""
 
@@ -48,6 +48,8 @@ class ParameterServer:
     ) -> None:
         self.env = env
         self.node = node
+        # Plain attribute (the node name never changes); see PSWorker.name.
+        self.name = node.name
         self.agent = agent
         self.config = config
         self.scheduler = scheduler
@@ -58,22 +60,27 @@ class ParameterServer:
         self.requests_handled = 0
         self.process = None
         self._restart_requested = False
-
-    @property
-    def name(self) -> str:
-        """Node name of this server."""
-        return self.node.name
+        # Cached series handle: one append per handled request otherwise pays
+        # a recorder key lookup each.
+        self._bpt_series = metrics.series("server_bpt", tag=self.name)
 
     def start(self) -> None:
         """Launch the server's simulation process."""
         self.process = self.env.process(self.run())
 
     # -- worker-facing API --------------------------------------------------------
-    def submit(self, worker: str, nbytes: float) -> Event:
-        """Enqueue a push request; the returned event fires when it is applied."""
-        request = PushRequest(worker=worker, nbytes=nbytes, done=self.env.event(),
-                              submitted_at=self.env.now)
-        self.queue.put(request)
+    def submit(self, worker: str, nbytes: float, done: Optional[Event] = None) -> Event:
+        """Enqueue a push request; the returned event fires when it is applied.
+
+        ``done`` may be a shared :class:`CountdownEvent` covering the pushes
+        of one iteration (one slot per server); the server then counts its
+        slot down instead of succeeding a private acknowledgement event.
+        """
+        env = self.env
+        request = PushRequest(worker=worker, nbytes=nbytes,
+                              done=done if done is not None else Event(env),
+                              submitted_at=env.now)
+        self.queue.push(request)
         return request.done
 
     # -- controller-facing API -----------------------------------------------------
@@ -92,32 +99,49 @@ class ParameterServer:
         """Main loop: pop a request, spend the handling time, acknowledge it."""
         current: Optional[PushRequest] = None
         get_event: Optional[Event] = None
+        # Hot-loop locals: the loop body runs once per push request, i.e.
+        # workers x servers times per global iteration.  All bound objects are
+        # stable across restarts (only the node's *status* changes).
+        env = self.env
+        queue = self.queue
+        node = self.node
+        per_byte_cost = self.config.server_per_byte_cost_s
+        delay_fraction_provider = self._delay_fraction_provider
+        stride_provider = self._report_stride_provider
+        bpt_series = self._bpt_series
         while True:
             try:
-                get_event = self.queue.get()
-                current = yield get_event
-                get_event = None
-                fraction = float(self._delay_fraction_provider())
-                handling = self.node.server_time(
+                # Backed-up queue: take the next request synchronously instead
+                # of riding a one-step event round trip per message (the item
+                # popped is the same one the getter event would have carried).
+                current = queue.try_get()
+                if current is None:
+                    get_event = queue.get()
+                    current = yield get_event
+                    get_event = None
+                fraction = float(delay_fraction_provider())
+                handling = node.server_time(
                     current.nbytes,
-                    self.env.now,
-                    per_byte_cost=self.config.server_per_byte_cost_s,
+                    env.now,
+                    per_byte_cost=per_byte_cost,
                     delay_fraction=fraction,
                 )
-                yield self.env.timeout(handling)
-                if not current.done.triggered:
-                    current.done.succeed(self.env.now)
+                yield env.timeout(handling)
+                done = current.done
+                if not done.triggered:
+                    if type(done) is CountdownEvent:
+                        done.count_down(env.now)
+                    else:
+                        done.succeed(env.now)
                 self.requests_handled += 1
-                self.metrics.record("server_bpt", handling, self.env.now, tag=self.name)
+                bpt_series.append(env.now, handling)
                 # A server sees one push per worker per iteration, so it only
                 # samples its handling time once per (approximate) global
                 # iteration — otherwise its reporting traffic would scale with
                 # the number of workers.
-                stride = 1
-                if self._report_stride_provider is not None:
-                    stride = max(1, int(self._report_stride_provider()))
+                stride = (stride_provider() or 1) if stride_provider is not None else 1
                 if self.requests_handled % stride == 0:
-                    self.agent.report_server_request(handling, self.env.now)
+                    self.agent.report_server_request(handling, env.now)
                 current = None
             except Interrupt:
                 # KILL_RESTART (or injected failure): requeue any in-flight or

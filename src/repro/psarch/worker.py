@@ -27,7 +27,7 @@ from ..core.actions import Action, AdjustBatchSize
 from ..core.agent import Agent
 from ..core.sharding import DataAllocator
 from ..sim.cluster import Node
-from ..sim.engine import Environment, Interrupt
+from ..sim.engine import CountdownEvent, Environment, Interrupt
 from ..sim.failures import ErrorCode
 from ..sim.metrics import MetricsRecorder
 from ..sim.scheduler import ClusterScheduler
@@ -59,6 +59,9 @@ class PSWorker:
     ) -> None:
         self.env = env
         self.node = node
+        # Plain attribute (the node name never changes): this is read in every
+        # per-request hot path and a property lookup per read adds up.
+        self.name = node.name
         self.agent = agent
         self.allocator = allocator
         self.backend = backend
@@ -77,11 +80,11 @@ class PSWorker:
         self.process = None
         self._restart_requested = False
         self._in_barrier = False
-
-    @property
-    def name(self) -> str:
-        """Node name of this worker."""
-        return self.node.name
+        # Cached series handles: three appends per iteration otherwise pay a
+        # recorder key lookup each.
+        self._bpt_series = metrics.series("bpt", tag=self.name)
+        self._batch_series = metrics.series("batch_size", tag=self.name)
+        self._samples_series = metrics.series("iteration_samples", tag=self.name)
 
     def start(self) -> None:
         """Launch the worker's simulation process."""
@@ -111,6 +114,10 @@ class PSWorker:
     # -- helpers ---------------------------------------------------------------------
     def _compute_time(self, num_samples: int) -> float:
         """Worker compute time for ``num_samples`` with gradient accumulation."""
+        if num_samples <= self.batch_size:
+            # No accumulation: one micro batch of exactly num_samples.
+            return self.node.compute_time(num_samples, self.env.now,
+                                          model_cost=self.config.model.compute_cost)
         micro_batches = max(1, math.ceil(num_samples / self.batch_size))
         micro_size = math.ceil(num_samples / micro_batches)
         total = 0.0
@@ -118,13 +125,6 @@ class PSWorker:
             total += self.node.compute_time(micro_size, self.env.now,
                                             model_cost=self.config.model.compute_cost)
         return total
-
-    def _record_iteration(self, bpt: float, num_samples: int) -> None:
-        # Raw per-iteration series (Fig. 12 / Fig. 13); the Monitor keeps its
-        # own, coarser, agent-reported series under the ``worker_*`` names.
-        self.metrics.record("bpt", bpt, self.env.now, tag=self.name)
-        self.metrics.record("batch_size", float(self.batch_size), self.env.now, tag=self.name)
-        self.metrics.record("iteration_samples", float(num_samples), self.env.now, tag=self.name)
 
     # -- barrier membership --------------------------------------------------------------
     def _enter_barrier(self) -> None:
@@ -152,19 +152,34 @@ class PSWorker:
     # -- simulation process ---------------------------------------------------------------
     def run(self):
         """Main training loop of the worker."""
-        self.allocator.register_worker(self.name)
+        # Hot-loop locals: the loop body runs once per iteration per worker.
+        # Everything bound here is stable across restarts; mutable per-
+        # iteration state (batch_size, iteration, ...) stays on self.
+        env = self.env
+        allocator = self.allocator
+        agent = self.agent
+        job = self.job
+        backend = self.backend
+        servers = self.servers
+        name = self.name
+        config = self.config
+        timeout = env.timeout
+        bpt_series = self._bpt_series
+        batch_series = self._batch_series
+        samples_series = self._samples_series
+        allocator.register_worker(name)
         self._enter_barrier()
         while True:
             try:
-                if self.job.completed:
+                if job.completed:
                     break
 
                 # 1. Pick up global actions at the iteration boundary.
-                actions, sync_cost = self.agent.poll()
+                actions, sync_cost = agent.poll()
                 for action in actions:
                     self._apply_action(action)
                 if sync_cost > 0:
-                    yield self.env.timeout(sync_cost)
+                    yield timeout(sync_cost)
 
                 # 2. Fetch data from the allocator.  One iteration may span a
                 # shard boundary, in which case the worker reads the tail of
@@ -174,67 +189,85 @@ class PSWorker:
                 gathered = 0
                 dds_cost = 0.0
                 while gathered < wanted:
-                    sample_range = self.allocator.next_range(self.name, wanted - gathered)
+                    sample_range = allocator.next_range(name, wanted - gathered)
                     if sample_range is None:
                         break
                     ranges.append(sample_range)
                     gathered += sample_range.length
-                    dds_cost += self.allocator.last_op_cost_s
+                    dds_cost += allocator.last_op_cost_s
                 if not ranges:
-                    if self.allocator.exhausted:
+                    if allocator.exhausted:
                         break
                     # No work available right now (e.g. all remaining shards
                     # are DOING on other workers): step out of the barrier so
                     # the workers that do hold data are not blocked, and poll.
                     self._exit_barrier()
-                    yield self.env.timeout(self.config.data_poll_interval_s)
+                    yield timeout(config.data_poll_interval_s)
                     continue
                 self._enter_barrier()
                 if dds_cost > 0:
-                    yield self.env.timeout(dds_cost)
+                    yield timeout(dds_cost)
 
-                iteration_start = self.env.now
+                iteration_start = env.now
 
-                # 3. Compute and synchronise with the servers.
-                payloads = [self.backend.compute_gradient(self.name, r) for r in ranges]
-                yield self.env.timeout(self._compute_time(gathered))
+                # 3. Compute and synchronise with the servers.  Compute and
+                # push are one combined sleep: nothing observes the worker
+                # between the two, and halving the timeout events per
+                # iteration measurably speeds large-cluster simulations (an
+                # interrupt lands identically in either interval).
+                payloads = [backend.compute_gradient(name, r) for r in ranges]
+                grad_bytes = config.model.gradient_bytes
+                # Push and pull move the same gradient volume over the same
+                # (static) link, so one transfer-time evaluation covers both.
+                push_time = pull_time = self.node.network.transfer_time(grad_bytes)
+                yield timeout(self._compute_time(gathered) + push_time)
+                per_server = grad_bytes / max(1, len(servers))
+                if servers:
+                    # One countdown latch per iteration instead of a private
+                    # ack event per server plus an AllOf: the same fan-in
+                    # point with one heap event instead of len(servers) + 1.
+                    acks = CountdownEvent(env, len(servers))
+                    for server in servers:
+                        server.submit(name, per_server, acks)
+                    yield acks
 
-                grad_bytes = self.config.model.gradient_bytes
-                push_time = self.node.network.transfer_time(grad_bytes)
-                yield self.env.timeout(push_time)
-                per_server = grad_bytes / max(1, len(self.servers))
-                acks = [server.submit(self.name, per_server) for server in self.servers]
-                if acks:
-                    yield self.env.all_of(acks)
-                pull_time = self.node.network.transfer_time(grad_bytes)
-                yield self.env.timeout(pull_time)
-
-                bpt = self.env.now - iteration_start
-                self._record_iteration(bpt, gathered)
-                report_cost = self.agent.report_iteration(bpt, gathered, self.env.now)
+                # The pull sleep stays separate from the report sleep: the
+                # iteration must only be recorded once the pull actually
+                # finished, so a KILL_RESTART landing mid-pull leaves no
+                # phantom observations for an iteration that failed over.
+                yield timeout(pull_time)
+                now = env.now
+                bpt = now - iteration_start
+                # Raw per-iteration series (Fig. 12 / Fig. 13); the Monitor
+                # keeps its own, coarser, agent-reported series under the
+                # ``worker_*`` names.
+                bpt_series.append(now, bpt)
+                batch_series.append(now, float(self.batch_size))
+                samples_series.append(now, float(gathered))
+                report_cost = agent.report_iteration(bpt, gathered, now)
                 if report_cost > 0:
-                    yield self.env.timeout(report_cost)
+                    yield timeout(report_cost)
 
                 # 4. BSP barrier (with backup-worker drops) and confirmation.
                 accepted = True
                 release = None
                 if self.barrier is not None:
-                    release, accepted = self.barrier.arrive(self.name, self.iteration)
+                    release, accepted = self.barrier.arrive(name, self.iteration)
                 if accepted:
-                    weight = gathered / self.config.global_batch_size
+                    weight = gathered / config.global_batch_size
                     for sample_range, payload in zip(ranges, payloads):
-                        self.backend.apply_gradient(self.name, payload,
-                                                    weight * sample_range.length / gathered)
-                        self.allocator.mark_done(self.name, sample_range)
+                        backend.apply_gradient(name, payload,
+                                               weight * sample_range.length / gathered)
+                        allocator.mark_done(name, sample_range)
                     self.samples_confirmed += gathered
-                    self.job.notify_progress(gathered, self.env.now)
+                    job.notify_progress(gathered, env.now)
                 else:
                     for sample_range in reversed(ranges):
-                        self.allocator.return_range(self.name, sample_range)
+                        allocator.return_range(name, sample_range)
                     self.dropped_iterations += 1
                 self.iterations_done += 1
 
-                if self.barrier is not None and accepted and not self.job.completed:
+                if self.barrier is not None and accepted and not job.completed:
                     yield release
                 self.iteration += 1
             except Interrupt as interrupt:

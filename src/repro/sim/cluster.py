@@ -84,6 +84,21 @@ class Node:
         self.restart_count = 0
         self.incarnation = 0
         self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._status_listeners: List = []
+
+    def add_status_listener(self, listener) -> None:
+        """Register a callable invoked (with this node) on every status change.
+
+        Lifecycle transitions are rare (restarts, failures, completion), so
+        consumers such as :class:`~repro.psarch.job.PSTrainingJob` use this to
+        cache aggregate views (e.g. the active-worker count, which sits on the
+        per-push hot path) instead of re-scanning every node per request.
+        """
+        self._status_listeners.append(listener)
+
+    def _notify_status(self) -> None:
+        for listener in self._status_listeners:
+            listener(self)
 
     # -- identity ------------------------------------------------------------
     @property
@@ -121,8 +136,11 @@ class Node:
         top.
         """
         base = self.device.batch_time(batch_size, model_cost)
-        slowdown = self.contention.slowdown(now)
-        extra = self.contention.extra_delay(now, self._rng)
+        contention = self.contention
+        if contention.is_null:
+            return base
+        slowdown = contention.slowdown(now)
+        extra = contention.extra_delay(now, self._rng)
         return base * slowdown + extra
 
     def server_time(self, nbytes: float, now: float, per_byte_cost: float = 1e-9,
@@ -138,14 +156,18 @@ class Node:
         if not 0.0 <= delay_fraction <= 1.0:
             raise ValueError("delay_fraction must lie in [0, 1]")
         base = self.device.base_overhead + nbytes * per_byte_cost
-        slowdown = self.contention.slowdown(now)
-        extra = self.contention.extra_delay(now, self._rng)
+        contention = self.contention
+        if contention.is_null:
+            return base
+        slowdown = contention.slowdown(now)
+        extra = contention.extra_delay(now, self._rng)
         return base * slowdown + extra * delay_fraction
 
     # -- lifecycle -------------------------------------------------------------
     def mark_restarting(self) -> None:
         """Mark the node as being relaunched (it cannot process work)."""
         self.status = NodeStatus.RESTARTING
+        self._notify_status()
 
     def complete_restart(self) -> None:
         """Finish a relaunch: fresh pod, fresh placement, no contention."""
@@ -153,14 +175,17 @@ class Node:
         self.contention = self.spec.post_restart_contention
         self.restart_count += 1
         self.incarnation += 1
+        self._notify_status()
 
     def mark_failed(self) -> None:
         """Mark the node as permanently failed (unretryable error)."""
         self.status = NodeStatus.FAILED
+        self._notify_status()
 
     def mark_finished(self) -> None:
         """Mark the node as done with its share of the job."""
         self.status = NodeStatus.FINISHED
+        self._notify_status()
 
     def __repr__(self) -> str:
         return (

@@ -44,6 +44,11 @@ class ContentionModel:
     Subclasses override :meth:`extra_delay` and/or :meth:`slowdown`.
     """
 
+    #: True only for models that never delay nor slow a node.  The node timing
+    #: hot path skips both model calls for such nodes — in a large cluster the
+    #: vast majority of nodes are uncontended.
+    is_null: bool = False
+
     def extra_delay(self, now: float, rng: np.random.Generator) -> float:
         """Additional seconds added to the iteration starting at ``now``."""
         return 0.0
@@ -59,6 +64,8 @@ class ContentionModel:
 
 class NoContention(ContentionModel):
     """A leader node: no contention at all."""
+
+    is_null = True
 
 
 @dataclass

@@ -10,8 +10,7 @@ components write to, and the experiment layer reads series back out of it.
 
 from __future__ import annotations
 
-import math
-from bisect import bisect_left, bisect_right
+from bisect import bisect_right
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -28,24 +27,41 @@ class MetricPoint:
 
 
 class MetricSeries:
-    """An append-only, time-ordered series of observations."""
+    """An append-only, time-ordered series of observations.
+
+    Alongside the raw observations the series maintains a running prefix-sum
+    array, so every windowed aggregate (:meth:`window_mean`,
+    :meth:`window_stats`) is answered with two bisections and one subtraction
+    instead of slicing a copy of the window — the Monitor and the straggler
+    detector issue these queries every control interval for every node, and
+    the old O(window) copies dominated large-cluster runs.
+    """
+
+    __slots__ = ("_times", "_values", "_prefix")
 
     def __init__(self) -> None:
         self._times: List[float] = []
         self._values: List[float] = []
+        # _prefix[i] is the sum of the first i values (so len(_prefix) is
+        # always len(_values) + 1).
+        self._prefix: List[float] = [0.0]
 
     def __len__(self) -> int:
         return len(self._times)
 
     def append(self, time: float, value: float) -> None:
         """Append an observation; times must be non-decreasing."""
-        if self._times and time < self._times[-1]:
+        times = self._times
+        if times and time < times[-1]:
             raise ValueError(
                 f"observations must be appended in time order "
-                f"({time} < {self._times[-1]})"
+                f"({time} < {times[-1]})"
             )
-        self._times.append(float(time))
-        self._values.append(float(value))
+        value = value if type(value) is float else float(value)
+        times.append(time if type(time) is float else float(time))
+        self._values.append(value)
+        prefix = self._prefix
+        prefix.append(prefix[-1] + value)
 
     def points(self) -> List[MetricPoint]:
         """All observations as :class:`MetricPoint` objects."""
@@ -66,27 +82,53 @@ class MetricSeries:
         return MetricPoint(self._times[-1], self._values[-1])
 
     def window(self, start: float, end: float) -> List[float]:
-        """Values observed in the half-open interval ``(start, end]``."""
+        """Values observed in the half-open interval ``(start, end]``.
+
+        The interval is open at ``start``: an observation recorded exactly at
+        ``start`` belongs to the *previous* window, so back-to-back windows
+        ``(t0, t1]``, ``(t1, t2]`` partition the series without double
+        counting.  Callers whose first window begins at the start of the run
+        should pass ``start=-math.inf`` (see ``Monitor``) so observations
+        recorded exactly at t=0 are not silently dropped.
+        """
         lo = bisect_right(self._times, start)
         hi = bisect_right(self._times, end)
         return self._values[lo:hi]
 
+    def window_stats(self, start: float, end: float) -> Tuple[int, float]:
+        """(count, sum) of the values in ``(start, end]`` without copying.
+
+        The sum is ``prefix[hi] - prefix[lo]``, which can differ from a
+        freshly computed ``sum(values[lo:hi])`` in the last ulp for windows
+        not anchored at the start of the series — acceptable for monitoring
+        aggregates (detection thresholds use ratios well away from 1 ulp).
+        """
+        lo = bisect_right(self._times, start)
+        hi = bisect_right(self._times, end)
+        if hi <= lo:
+            return 0, 0.0
+        return hi - lo, self._prefix[hi] - self._prefix[lo]
+
     def window_mean(self, start: float, end: float) -> Optional[float]:
-        """Mean of the values in ``(start, end]`` or None if there are none."""
-        values = self.window(start, end)
-        if not values:
+        """Mean of the values in ``(start, end]`` or None if there are none.
+
+        Boundary semantics match :meth:`window`; computed from the running
+        prefix sums in O(log n).
+        """
+        count, total = self.window_stats(start, end)
+        if count == 0:
             return None
-        return sum(values) / len(values)
+        return total / count
 
     def mean(self) -> Optional[float]:
         """Mean over the whole series, or None when empty."""
         if not self._values:
             return None
-        return sum(self._values) / len(self._values)
+        return self._prefix[-1] / len(self._values)
 
     def total(self) -> float:
         """Sum over the whole series."""
-        return float(sum(self._values))
+        return self._prefix[-1]
 
 
 class MetricsRecorder:
@@ -99,14 +141,26 @@ class MetricsRecorder:
     GLOBAL = ""
 
     def __init__(self) -> None:
-        self._series: Dict[Tuple[str, str], MetricSeries] = defaultdict(MetricSeries)
+        self._series: Dict[Tuple[str, str], MetricSeries] = {}
         self._counters: Dict[Tuple[str, str], float] = defaultdict(float)
         self._events: List[Tuple[float, str, str, str]] = []
+        # Tags per metric name, in first-seen order.  Kept incrementally so
+        # per-tag queries (issued every control interval) do not rescan every
+        # series key ever recorded.
+        self._tags_by_name: Dict[str, List[str]] = {}
+
+    def _get_or_create(self, name: str, tag: str) -> MetricSeries:
+        key = (name, tag)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = MetricSeries()
+            self._tags_by_name.setdefault(name, []).append(tag)
+        return series
 
     # -- recording ----------------------------------------------------------
     def record(self, name: str, value: float, time: float, tag: str = GLOBAL) -> None:
         """Record a time-series observation."""
-        self._series[(name, tag)].append(time, value)
+        self._get_or_create(name, tag).append(time, value)
 
     def increment(self, name: str, amount: float = 1.0, tag: str = GLOBAL) -> None:
         """Increment a counter."""
@@ -119,16 +173,24 @@ class MetricsRecorder:
     # -- queries ------------------------------------------------------------
     def series(self, name: str, tag: str = GLOBAL) -> MetricSeries:
         """Return the series for ``(name, tag)`` (empty if never recorded)."""
-        return self._series[(name, tag)]
+        return self._get_or_create(name, tag)
 
     def has_series(self, name: str, tag: str = GLOBAL) -> bool:
         """True if at least one observation exists for ``(name, tag)``."""
-        return (name, tag) in self._series and len(self._series[(name, tag)]) > 0
+        series = self._series.get((name, tag))
+        return series is not None and len(series) > 0
 
     def tags(self, name: str) -> List[str]:
-        """All tags that have observations under metric ``name``."""
-        found = sorted({tag for (metric, tag) in self._series if metric == name})
-        return found
+        """All tags that have observations under metric ``name``.
+
+        Tags whose series exist but hold no observations (e.g. series handles
+        cached eagerly by workers that never completed an iteration) are not
+        listed — figure builders iterate this and must only see nodes that
+        actually recorded data.
+        """
+        series = self._series
+        return sorted(tag for tag in self._tags_by_name.get(name, [])
+                      if len(series[(name, tag)]) > 0)
 
     def counter(self, name: str, tag: str = GLOBAL) -> float:
         """Current value of a counter (0.0 if never incremented)."""
@@ -154,8 +216,9 @@ class MetricsRecorder:
     def per_tag_window_means(self, name: str, start: float, end: float) -> Dict[str, float]:
         """Window means of metric ``name`` for every tag that has data in the window."""
         means: Dict[str, float] = {}
+        series = self._series
         for tag in self.tags(name):
-            mean = self.window_mean(name, start, end, tag)
+            mean = series[(name, tag)].window_mean(start, end)
             if mean is not None:
                 means[tag] = mean
         return means

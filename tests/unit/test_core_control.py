@@ -354,3 +354,32 @@ def test_adjust_lr_solution_penalises_stragglers_once():
     assert first[0].factors == {"w1": 0.5}
     second = solution.decide(ctx)
     assert isinstance(second[0], NoneAction)
+
+
+def test_monitor_first_window_includes_time_zero_observation():
+    # Boundary semantics (see Monitor._window_start): windows are half-open
+    # (start, now], so a report recorded exactly at t=0 would fall out of the
+    # first window computed naively as (0 - eps, ...] = (0, window]; the
+    # Monitor widens any window reaching the start of the run to cover it.
+    monitor = Monitor()
+    monitor.report_worker("worker-0", bpt=2.0, batch_size=32, time=0.0)
+    monitor.report_worker("worker-0", bpt=4.0, batch_size=32, time=10.0)
+    means = monitor.worker_bpt_means(window_s=20.0, now=20.0)
+    assert means["worker-0"] == pytest.approx(3.0)
+
+
+def test_monitor_later_windows_stay_half_open():
+    monitor = Monitor()
+    monitor.report_worker("worker-0", bpt=2.0, batch_size=32, time=30.0)
+    monitor.report_worker("worker-0", bpt=6.0, batch_size=32, time=40.0)
+    # Window (30, 50]: the observation exactly at the window start belongs to
+    # the previous window and must not be double counted.
+    means = monitor.worker_bpt_means(window_s=20.0, now=50.0)
+    assert means["worker-0"] == pytest.approx(6.0)
+
+
+def test_monitor_server_window_boundary_matches_worker_windows():
+    monitor = Monitor()
+    monitor.report_server("server-0", bpt=1.0, time=0.0)
+    means = monitor.server_bpt_means(window_s=5.0, now=5.0)
+    assert means["server-0"] == pytest.approx(1.0)

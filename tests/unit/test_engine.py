@@ -345,3 +345,92 @@ def test_run_until_past_time_raises():
 def test_peek_empty_queue_is_infinite():
     env = Environment()
     assert env.peek() == float("inf")
+
+
+def test_trigger_already_triggered_raises():
+    env = Environment()
+    source = env.event()
+    source.succeed("src")
+    target = env.event()
+    target.succeed("already")
+    with pytest.raises(RuntimeError):
+        target.trigger(source)
+
+
+def test_trigger_copies_outcome():
+    env = Environment()
+    source = env.event()
+    source.succeed("payload")
+    target = env.event()
+    target.trigger(source)
+    env.run()
+    assert target.value == "payload"
+
+
+def test_store_put_event_is_already_processed():
+    # put never blocks, so its confirmation event is returned pre-processed
+    # (no heap traffic per message); yielding it resumes immediately.
+    env = Environment()
+    store = env.store()
+    event = store.put("thing")
+    assert event.triggered and event.processed
+    assert event.ok and event.value == "thing"
+
+
+def test_store_push_enqueues_without_event():
+    env = Environment()
+    store = env.store()
+    assert store.push("a") is None
+    store.push("b")
+    assert store.try_get() == "a"
+    assert store.try_get() == "b"
+
+
+def test_store_push_wakes_waiting_getter():
+    env = Environment()
+    store = env.store()
+    log = []
+
+    def consumer(env, store):
+        item = yield store.get()
+        log.append((env.now, item))
+
+    def producer(env, store):
+        yield env.timeout(2.0)
+        store.push("late")
+
+    env.process(consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert log == [(2.0, "late")]
+
+
+def test_store_get_with_item_available_is_immediate():
+    env = Environment()
+    store = env.store()
+    store.push("ready")
+    event = store.get()
+    assert event.triggered and event.value == "ready"
+
+
+def test_environment_counts_scheduled_and_processed_events():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        yield env.timeout(2.0)
+
+    env.process(proc(env))
+    assert env.processed_count == 0
+    env.run()
+    assert env.scheduled_count > 0
+    # Every scheduled event is eventually processed when the heap drains.
+    assert env.processed_count == env.scheduled_count
+
+
+def test_step_counts_processed_events():
+    env = Environment()
+    env.timeout(1.0)
+    env.step()
+    assert env.processed_count == 1
+    assert env.now == 1.0

@@ -221,3 +221,44 @@ def test_scheduler_restart_delay_estimate():
                                  pending_model=PendingTimeModel(idle_pending_time=7.0),
                                  node_init_time=3.0)
     assert scheduler.restart_delay() == pytest.approx(10.0)
+
+
+def test_metric_series_window_stats_matches_window():
+    series = MetricSeries()
+    for t, v in [(0.0, 1.0), (1.0, 2.0), (2.5, 4.0), (4.0, 8.0)]:
+        series.append(t, v)
+    for start, end in [(-1.0, 5.0), (0.0, 2.5), (1.0, 4.0), (2.5, 2.5), (5.0, 9.0)]:
+        values = series.window(start, end)
+        count, total = series.window_stats(start, end)
+        assert count == len(values)
+        assert total == pytest.approx(sum(values))
+
+
+def test_metric_series_window_is_open_at_start():
+    # (start, end] semantics: an observation exactly at the window start
+    # belongs to the previous window.
+    series = MetricSeries()
+    series.append(0.0, 5.0)
+    series.append(10.0, 7.0)
+    assert series.window(0.0, 10.0) == [7.0]
+    assert series.window(-1.0, 10.0) == [5.0, 7.0]
+    assert series.window_mean(0.0, 10.0) == 7.0
+
+
+def test_metric_series_prefix_aggregates():
+    series = MetricSeries()
+    values = [3.0, 1.5, 2.5, 9.0]
+    for index, value in enumerate(values):
+        series.append(float(index), value)
+    assert series.total() == pytest.approx(sum(values))
+    assert series.mean() == pytest.approx(sum(values) / len(values))
+
+
+def test_metrics_recorder_tags_index_tracks_first_seen():
+    recorder = MetricsRecorder()
+    recorder.record("metric", 1.0, 0.0, tag="b")
+    recorder.record("metric", 1.0, 0.5, tag="a")
+    recorder.record("other", 1.0, 0.5, tag="z")
+    assert recorder.tags("metric") == ["a", "b"]
+    assert recorder.tags("other") == ["z"]
+    assert recorder.tags("absent") == []
