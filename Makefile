@@ -1,0 +1,35 @@
+# Developer entry points.  Everything runs from the source tree (no install
+# needed); PYTHONPATH is set per-target so the targets work in offline
+# environments too.
+
+PYTHON ?= python
+PYTHONPATH_PREFIX = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
+
+.PHONY: test tier1 fast golden golden-update bench
+
+## Full tier-1 suite (what the PR gate runs): unit + integration + property +
+## golden traces + benchmarks.
+test:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -x -q
+
+## Only the tests/ tree (skips the benchmark harness).
+tier1:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest tests -q -m tier1
+
+## Tight edit loop: tier-1 without the heavyweight tail.
+fast:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest tests -q -m "tier1 and not slow"
+
+## Re-check every registered scenario against its golden trace.
+golden:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest tests/golden -q
+
+## Deliberately regenerate the golden traces after an intended behaviour
+## change, then re-verify.  Review the resulting diff like any code change.
+golden-update:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest tests/golden -q --update-golden
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest tests/golden -q
+
+## Regenerate BENCH_engine.json (perf trajectory file).
+bench:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/test_perf_smoke.py benchmarks/test_perf_scale_sweep.py -q -s

@@ -1,8 +1,22 @@
-"""Pytest bootstrap: make ``repro`` importable from the source tree.
+"""Pytest bootstrap: make ``repro`` importable and wire the test tiers.
 
-The package is normally installed with ``pip install -e .``; this fallback
-keeps the test and benchmark suites runnable in offline environments where an
-editable install is not possible.
+The package is normally installed with ``pip install -e .``; the sys.path
+fallback keeps the test and benchmark suites runnable in offline environments
+where an editable install is not possible.
+
+Markers
+-------
+``tier1``
+    The fast regression tier (everything under ``tests/``); this is the suite
+    a PR must keep green.  Run it alone with ``pytest -m tier1``.
+``golden``
+    Golden-trace regression tests (``tests/golden/``): every registered
+    scenario's fingerprint must match its checked-in trace byte for byte.
+    Regenerate deliberately with ``pytest tests/golden --update-golden``
+    (or ``make golden-update``).
+``slow``
+    The heavyweight tail (large-cluster scenarios, scale sweeps).  Skip it
+    during tight edit loops with ``pytest -m "not slow"``.
 """
 
 import sys
@@ -14,3 +28,36 @@ if str(_SRC) not in sys.path:
         import repro  # noqa: F401
     except ImportError:
         sys.path.insert(0, str(_SRC))
+
+import pytest  # noqa: E402
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="Rewrite the golden traces under tests/golden/traces/ instead of "
+             "comparing against them (deliberate regeneration).",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "tier1: fast regression tier; must stay green on every PR")
+    config.addinivalue_line(
+        "markers", "golden: golden-trace regression tests over the scenario registry")
+    config.addinivalue_line(
+        "markers", "slow: heavyweight tests (large clusters, scale sweeps)")
+
+
+def pytest_collection_modifyitems(config, items):
+    """Attach tier markers by location so the tiers need no per-file boilerplate."""
+    tests_root = Path(__file__).resolve().parent / "tests"
+    golden_root = tests_root / "golden"
+    for item in items:
+        path = Path(str(item.fspath))
+        if golden_root in path.parents:
+            item.add_marker(pytest.mark.golden)
+        if tests_root in path.parents:
+            item.add_marker(pytest.mark.tier1)

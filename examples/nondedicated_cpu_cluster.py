@@ -1,36 +1,37 @@
-"""Non-dedicated CPU cluster scenario: the full BSP/ASP method comparison.
+"""Non-dedicated CPU cluster: the registered straggler matrix, method by method.
 
-Reproduces the core of the paper's evaluation (Figs. 10 and 11) on a scaled
-cluster: every BSP-family and ASP-family method runs under worker stragglers
-and under a server straggler, and the resulting JCTs are printed side by side.
+Reproduces the core of the paper's evaluation (Figs. 10 and 11) through the
+declarative scenario registry: every BSP-family and ASP-family method runs
+under the registered worker-straggler and server-straggler conditions, and
+the resulting JCTs are printed side by side.
 
 Run with::
 
     python examples/nondedicated_cpu_cluster.py
 """
 
+from dataclasses import replace
+
 from repro.baselines import asp_methods, bsp_methods
-from repro.experiments import (
-    SMALL,
-    format_table,
-    run_ps_experiment,
-    server_scenario,
-    worker_scenario,
-)
+from repro.experiments import format_table
+from repro.scenarios import get_scenario, run_scenario
+
+#: Registered operating conditions the methods are compared under.
+CONDITIONS = {
+    "worker stragglers": "nd-persistent-worker",
+    "server straggler": "nd-server-straggler",
+}
 
 
 def main() -> None:
-    scenarios = {
-        "worker stragglers": worker_scenario(intensity=0.8),
-        "server straggler": server_scenario(intensity=0.8),
-    }
     for family_name, methods in (("BSP family", bsp_methods()), ("ASP family", asp_methods())):
         rows = []
         for method in methods:
             jcts = {}
-            for label, scenario in scenarios.items():
-                result = run_ps_experiment(method, scale=SMALL, scenario=scenario, seed=1)
-                jcts[label] = result.jct
+            for label, scenario_name in CONDITIONS.items():
+                base = get_scenario(scenario_name)
+                spec = replace(base, name=f"{base.name}@{method.name}", method=method.name)
+                jcts[label] = run_scenario(spec).jct
             rows.append([
                 method.name,
                 f"{jcts['worker stragglers']:.1f}",

@@ -1,43 +1,49 @@
 """Quickstart: run one AntDT-ND training job against native BSP.
 
-Builds a small simulated CPU Parameter-Server cluster, injects the paper's
-worker-straggler pattern (transient stragglers on ~30% of the workers plus one
-severe persistent straggler), and compares native BSP with AntDT-ND.
+Builds the paper's worker-straggler operating condition as a *declarative
+scenario* (transient stragglers on ~30% of the workers plus one severe
+persistent straggler on a non-dedicated cluster), runs it once under native
+BSP and once under AntDT-ND, and prints the comparison plus each run's
+golden-trace fingerprint summary.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro.experiments import (
-    SMALL,
-    format_table,
-    percent_faster,
-    run_ps_experiment,
-    worker_scenario,
-)
+from dataclasses import replace
+
+from repro.experiments import format_table, percent_faster
+from repro.scenarios import get_scenario, run_scenario
 
 
 def main() -> None:
-    scenario = worker_scenario(intensity=0.8)
-    print(f"Scenario: {scenario.name}")
-    print(f"Cluster:  {SMALL.num_workers} workers, {SMALL.num_servers} servers, "
-          f"global batch {SMALL.global_batch_size}\n")
+    antdt_spec = get_scenario("nd-persistent-worker")
+    bsp_spec = replace(antdt_spec, name="nd-persistent-worker-bsp", method="bsp")
+    scale = antdt_spec.resolve_scale()
+    print(f"Scenario: {antdt_spec.name} — {antdt_spec.description}")
+    print(f"Cluster:  {scale.num_workers} workers, {scale.num_servers} servers, "
+          f"global batch {scale.global_batch_size}\n")
 
-    bsp = run_ps_experiment("bsp", scale=SMALL, scenario=scenario, seed=1)
-    antdt = run_ps_experiment("antdt-nd", scale=SMALL, scenario=scenario, seed=1)
+    bsp = run_scenario(bsp_spec)
+    antdt = run_scenario(antdt_spec)
 
     rows = [
-        ["native BSP", f"{bsp.jct:.1f}", bsp.samples_confirmed, sum(bsp.restarts_per_node.values())],
-        ["AntDT-ND", f"{antdt.jct:.1f}", antdt.samples_confirmed,
-         sum(antdt.restarts_per_node.values())],
+        ["native BSP", f"{bsp.jct:.1f}", bsp.run.samples_confirmed,
+         sum(bsp.run.restarts_per_node.values())],
+        ["AntDT-ND", f"{antdt.jct:.1f}", antdt.run.samples_confirmed,
+         sum(antdt.run.restarts_per_node.values())],
     ]
     print(format_table(["method", "JCT (s)", "samples trained", "kill/restarts"], rows))
     print(f"\nAntDT-ND finishes {percent_faster(bsp.jct, antdt.jct):.1f}% faster than native BSP "
           f"on the same data.")
     print("Actions taken by the AntDT Controller:")
-    for action in antdt.action_log:
+    for action in antdt.run.action_log:
         print(f"  - {action.describe()}")
+    print("\nGolden-trace fingerprint (what tests/golden pins):")
+    fp = antdt.fingerprint
+    print(f"  jct_s={fp['jct_s']}  throughput={fp['throughput_samples_per_s']:.1f} "
+          f"samples/s  actions={fp['actions']}  restarts={fp['restarts']}")
 
 
 if __name__ == "__main__":

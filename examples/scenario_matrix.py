@@ -1,0 +1,73 @@
+"""Scenario-matrix quickstart: define, register, sweep, and golden-test.
+
+Walks through the full life of a custom scenario:
+
+1. declare an operating condition as a :class:`~repro.scenarios.ScenarioSpec`
+   (here: a non-dedicated cluster hit by transient stragglers *and* a pod
+   eviction mid-epoch);
+2. check it round-trips losslessly through JSON (what the property tests
+   guarantee for every spec);
+3. register it and sweep a tagged subset of the registry plus the new
+   scenario through :class:`~repro.scenarios.ScenarioMatrix`;
+4. fingerprint the run twice to show the golden-trace determinism guarantee
+   that ``tests/golden`` pins for every registered scenario.
+
+To pin a scenario of your own, register it inside
+``src/repro/scenarios/registry.py`` and run ``make golden-update`` (or
+``pytest tests/golden --update-golden``) once to write its trace; from then
+on any behavioural drift fails ``pytest -m golden``.
+
+Run with::
+
+    python examples/scenario_matrix.py
+"""
+
+from repro.scenarios import (
+    FailureEvent,
+    FailureTraceSpec,
+    ScenarioMatrix,
+    ScenarioSpec,
+    TopologySpec,
+    all_scenarios,
+    register_scenario,
+    run_scenario,
+)
+from repro.experiments import worker_scenario
+
+
+def main() -> None:
+    # 1. Declare: every knob is data, so the spec can be diffed and pinned.
+    custom = ScenarioSpec(
+        name="demo-evicted-transients",
+        method="antdt-nd",
+        seed=42,
+        topology=TopologySpec(dedicated=False),
+        stragglers=worker_scenario(0.5, include_persistent=False),
+        failures=FailureTraceSpec(events=(
+            FailureEvent(time_s=40.0, node="worker-1", code="job_eviction"),
+        )),
+        description="Transient stragglers plus one mid-epoch eviction.",
+        tags=("demo", "failures"),
+    )
+
+    # 2. Serialize: ScenarioSpec -> JSON -> ScenarioSpec is lossless.
+    assert ScenarioSpec.from_json(custom.to_json()) == custom
+    print("Spec round-trips losslessly through JSON:")
+    print(custom.to_json())
+
+    # 3. Register and sweep it next to the built-in failure scenarios.
+    register_scenario(custom)
+    matrix = ScenarioMatrix(all_scenarios(tags=("failures",)))
+    print(f"\nSweeping {len(matrix)} failure scenarios through the runner:\n")
+    print(matrix.summary_table())
+
+    # 4. Fingerprint twice: deterministic runs make golden traces possible.
+    first = run_scenario(custom).golden_trace()
+    second = run_scenario(custom).golden_trace()
+    assert first == second
+    print("\nTwo runs produced byte-identical golden traces "
+          f"({len(first.splitlines())} lines); safe to pin under tests/golden/traces/.")
+
+
+if __name__ == "__main__":
+    main()

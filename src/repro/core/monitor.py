@@ -16,11 +16,10 @@ AntDT-ND solution) on top of :class:`~repro.sim.metrics.MetricsRecorder`.
 
 from __future__ import annotations
 
-import math
 from typing import Callable, Dict, List, Optional
 
 from ..sim.failures import NodeFailure
-from ..sim.metrics import MetricsRecorder
+from ..sim.metrics import MetricsRecorder, window_start
 
 __all__ = ["Monitor"]
 
@@ -99,17 +98,26 @@ class Monitor:
     def _window_start(window_s: float, now: float) -> float:
         """Left edge of the sliding window ending at ``now``.
 
-        Window queries use half-open ``(start, now]`` intervals so consecutive
-        windows never double count an observation.  For the *first* window of
-        a run the naive ``now - window_s`` start would silently exclude an
-        observation recorded exactly at t=0 (``bisect_right`` places it at the
-        open edge); when the window reaches back to (or past) the start of the
-        run there is no previous window that could have claimed the boundary
-        observation, so the window is widened to cover everything up to
-        ``now``.
+        Delegates to :func:`repro.sim.metrics.window_start` so every windowed
+        consumer (this Monitor, the failure injector) shares the same
+        half-open ``(start, now]`` semantics, including the first-window
+        widening that keeps a t=0 observation from being silently dropped.
         """
-        start = now - window_s
-        return start if start > 0.0 else -math.inf
+        return window_start(window_s, now)
+
+    def node_events_between(self, window_s: float, now: float,
+                            node: Optional[str] = None) -> List[NodeFailure]:
+        """Node terminations inside the sliding window ``(now - window_s, now]``.
+
+        Uses the same half-open boundary semantics (and first-window widening)
+        as the application-state queries below, so a failure reported exactly
+        at t=0 is attributed to the first window rather than lost.
+        """
+        start = window_start(window_s, now)
+        return [
+            event for event in self._node_events
+            if start < event.time <= now and (node is None or event.node_name == node)
+        ]
 
     def worker_bpt_means(self, window_s: float, now: float) -> Dict[str, float]:
         """Sliding-window mean BPT per worker over ``(now - window_s, now]``."""

@@ -26,6 +26,7 @@ from .stragglers import (
     apply_scenario,
     apply_trace_pattern,
     server_scenario,
+    trace_scenario,
     worker_scenario,
 )
 from .workloads import (
@@ -83,5 +84,6 @@ __all__ = [
     "server_scenario",
     "speedup",
     "table3_intensity_sweep",
+    "trace_scenario",
     "worker_scenario",
 ]

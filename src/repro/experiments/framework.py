@@ -8,32 +8,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..baselines.registry import get_method
 from ..checkpoint import CheckpointSchedule, FailoverModel
-from ..core.config import ConsistencyModel
 from ..core.sharding import StatefulDDS
 from ..core.shuffler import ShardShuffler
-from ..core.solutions import AntDTND
 from ..ml.data.criteo import CriteoConfig, make_criteo_like
 from ..ml.models.xdeepfm import XDeepFMLite
 from ..ml.optim import Adagrad
 from ..psarch.backend import NumpyPSBackend
-from ..psarch.config import PSJobConfig
-from ..psarch.job import PSTrainingJob
-from ..sim.cluster import Cluster
-from ..sim.contention import ConstantContention
-from ..sim.engine import Environment
-from ..sim.metrics import MetricsRecorder
-from ..sim.scheduler import ClusterScheduler
-from .runner import PSExperiment
-from .stragglers import worker_scenario
-from .workloads import (
-    SMALL,
-    ExperimentScale,
-    antdt_config,
-    make_cpu_cluster,
-    pending_model,
-)
+from .stragglers import NO_STRAGGLERS, StragglerScenario, worker_scenario
+from .workloads import SMALL, ExperimentScale
 
 __all__ = [
     "fig16_shard_agility",
@@ -43,12 +26,25 @@ __all__ = [
 ]
 
 
+# The scenario subsystem builds *on top of* the experiments package (its specs
+# embed StragglerScenario, its runner drives PSExperiment), so these figure
+# generators import it lazily: a module-level import would cycle through
+# ``repro.experiments.__init__`` -> framework -> scenarios -> runner.
+
+
 def fig16_shard_agility(scale: ExperimentScale = SMALL, intensity: float = 0.8,
                         seed: int = 0) -> Dict[str, Dict[str, float]]:
     """Fig. 16: shards consumed per worker against the worker's throughput (ASP-DDS)."""
-    experiment = PSExperiment(method=get_method("asp-dds"), scale=scale,
-                              scenario=worker_scenario(intensity), seed=seed)
-    job = experiment.build_job()
+    from ..scenarios import ScenarioSpec, build_scenario_job
+
+    spec = ScenarioSpec.for_scale(
+        scale,
+        name="fig16-shard-agility",
+        method="asp-dds",
+        stragglers=worker_scenario(intensity),
+        seed=seed,
+    )
+    job, _ = build_scenario_job(spec)
     result = job.run()
     allocator = job.allocator
     shards = allocator.shards_taken() if isinstance(allocator, StatefulDDS) else {}
@@ -86,12 +82,19 @@ def fig17_failover_delay(scale: ExperimentScale = SMALL,
 def fig18_overhead(worker_counts: Sequence[int] = (6, 12, 18), scale: ExperimentScale = SMALL,
                    intensity: float = 0.8, seed: int = 0) -> List[Dict[str, float]]:
     """Fig. 18: AntDT framework overhead (DDS + agent sync) as a fraction of JCT."""
+    from ..scenarios import ScenarioSpec, TopologySpec, build_scenario_job
+
     rows: List[Dict[str, float]] = []
     for count in worker_counts:
-        sized = scale.with_workers(count)
-        experiment = PSExperiment(method=get_method("antdt-nd"), scale=sized,
-                                  scenario=worker_scenario(intensity), seed=seed)
-        job = experiment.build_job()
+        spec = ScenarioSpec.for_scale(
+            scale,
+            name=f"fig18-overhead-{count}w",
+            method="antdt-nd",
+            topology=TopologySpec(num_workers=count),
+            stragglers=worker_scenario(intensity),
+            seed=seed,
+        )
+        job, _ = build_scenario_job(spec)
         result = job.run()
         dds_overhead = job.allocator.total_overhead_s
         sync_overhead = job.agent_group.total_overhead_s
@@ -108,23 +111,33 @@ def fig18_overhead(worker_counts: Sequence[int] = (6, 12, 18), scale: Experiment
     return rows
 
 
-def _integrity_cluster(seed: int) -> Tuple[Cluster, ExperimentScale]:
-    scale = ExperimentScale(
-        name="integrity",
-        num_workers=4,
-        num_servers=2,
-        per_worker_batch=256,
-        iterations=16,
-        control_interval_s=5.0,
-        transient_window_s=5.0,
-        persistent_window_s=10.0,
-        kill_restart_cooldown_s=10.0,
-        idle_pending_time_s=1.0,
-        node_init_time_s=2.0,
-        worker_recovery_s=1.0,
-        server_recovery_s=2.0,
-    )
-    return make_cpu_cluster(scale, seed=seed), scale
+#: The scaled-down workload the §VII-D integrity runs use.
+INTEGRITY_SCALE = ExperimentScale(
+    name="integrity",
+    num_workers=4,
+    num_servers=2,
+    per_worker_batch=256,
+    iterations=16,
+    control_interval_s=5.0,
+    transient_window_s=5.0,
+    persistent_window_s=10.0,
+    kill_restart_cooldown_s=10.0,
+    idle_pending_time_s=1.0,
+    node_init_time_s=2.0,
+    worker_recovery_s=1.0,
+    server_recovery_s=2.0,
+)
+
+#: Persistent-only worker straggler of the integrity failover run: one severe
+#: constant-delay straggler (2 s on every iteration) and no transient bursts,
+#: so AntDT-ND deterministically kill-restarts exactly that node.
+INTEGRITY_STRAGGLER = StragglerScenario(
+    name="integrity-persistent-straggler",
+    side="worker",
+    intensity=1.0,
+    persistent_delay_s=2.0,
+    transient_fraction=0.0,
+)
 
 
 def integrity_report(num_samples: int = 12_288, epochs: int = 1, seed: int = 7,
@@ -136,27 +149,16 @@ def integrity_report(num_samples: int = 12_288, epochs: int = 1, seed: int = 7,
     persistent worker straggler triggers a KILL_RESTART mid-run; the report
     checks that every shard still reaches DONE (at-least-once) and returns the
     test AUC for comparison against the clean run.
+
+    The run itself is scenario-driven: a :class:`~repro.scenarios.ScenarioSpec`
+    on the integrity scale, with the real NumPy backend and per-sample coverage
+    accounting layered on as overrides.
     """
+    from ..scenarios import ScenarioSpec, build_scenario_job
+
     dataset = make_criteo_like(CriteoConfig(num_samples=num_samples, seed=seed))
     train, test = dataset.split(0.8, rng=np.random.default_rng(seed))
 
-    cluster, scale = _integrity_cluster(seed)
-    if with_failover:
-        # One severe persistent straggler: AntDT-ND will kill and relaunch it.
-        cluster.set_contention(cluster.workers[-1].name, ConstantContention(delay_seconds=2.0))
-
-    env = Environment()
-    cfg = antdt_config(scale)
-    global_batch = scale.global_batch_size
-    allocator = StatefulDDS(
-        num_samples=len(train),
-        global_batch_size=global_batch,
-        epochs=epochs,
-        shuffler=ShardShuffler(seed=seed),
-        op_cost_s=cfg.dds_op_overhead_s,
-        samples_per_shard=scale.per_worker_batch * 2,
-        track_coverage=True,
-    )
     model = XDeepFMLite(
         field_cardinalities=train.field_cardinalities,
         num_dense=train.num_dense,
@@ -168,26 +170,22 @@ def integrity_report(num_samples: int = 12_288, epochs: int = 1, seed: int = 7,
     backend = NumpyPSBackend(model=model, optimizer=Adagrad(model.parameters(), lr=0.05),
                              dataset=train, test_dataset=test,
                              shuffler=ShardShuffler(seed=seed))
-    metrics = MetricsRecorder()
-    scheduler = ClusterScheduler(env, cluster, pending_model=pending_model(scale),
-                                 node_init_time=scale.node_init_time_s, metrics=metrics)
-    job = PSTrainingJob(
-        env=env,
-        cluster=cluster,
-        allocator=allocator,
-        config=PSJobConfig(
-            consistency=ConsistencyModel.BSP,
-            global_batch_size=global_batch,
-            worker_recovery_time_s=scale.worker_recovery_s,
-            server_recovery_time_s=scale.server_recovery_s,
-        ),
-        antdt_config=cfg,
-        backend=backend,
-        solution=AntDTND() if with_failover else None,
-        scheduler=scheduler,
-        metrics=metrics,
-        evaluate_after_run=True,
+    spec = ScenarioSpec.for_scale(
+        INTEGRITY_SCALE,
+        name="integrity-failover" if with_failover else "integrity-clean",
+        method="antdt-nd" if with_failover else "bsp",
+        stragglers=INTEGRITY_STRAGGLER if with_failover else NO_STRAGGLERS,
+        seed=seed,
+        epochs=epochs,
     )
+    job, _ = build_scenario_job(
+        spec,
+        backend=backend,
+        evaluate_after_run=True,
+        num_samples=len(train),
+        track_coverage=True,
+    )
+    allocator = job.allocator
     result = job.run()
     coverage = allocator.coverage()
     return {

@@ -21,6 +21,7 @@ from ..psarch.backend import ComputeBackend
 from ..psarch.job import PSRunResult, PSTrainingJob
 from ..sim.cluster import Cluster
 from ..sim.engine import Environment
+from ..sim.failures import FailureInjector
 from ..sim.metrics import MetricsRecorder
 from ..sim.scheduler import ClusterScheduler
 from .stragglers import NO_STRAGGLERS, StragglerScenario, apply_scenario
@@ -50,6 +51,16 @@ class PSExperiment:
     backend: Optional[ComputeBackend] = None
     evaluate_after_run: bool = False
     epochs: Optional[int] = None
+    # Dataset-size override: experiments training a real backend (the §VII-D
+    # integrity runs) size the allocator by their dataset, not the scale.
+    num_samples: Optional[int] = None
+    # Per-sample coverage counters cost a numpy slice-add on every confirmed
+    # range; only the integrity experiments turn them on.
+    track_coverage: bool = False
+    # When provided, every relaunch (proactive kill or injected failure) is
+    # recorded here; the scenario subsystem reads the history back into the
+    # run fingerprint.
+    failure_injector: Optional[FailureInjector] = None
 
     def build_job(self) -> PSTrainingJob:
         """Assemble the simulation environment and the training job."""
@@ -58,19 +69,17 @@ class PSExperiment:
         apply_scenario(cluster, self.scenario, self.scale, seed=self.seed)
 
         epochs = self.epochs if self.epochs is not None else self.scale.epochs
+        num_samples = self.num_samples if self.num_samples is not None else self.scale.num_samples
         cfg = antdt_config(self.scale)
         if self.method.allocator == "dds":
             allocator = StatefulDDS(
-                num_samples=self.scale.num_samples,
+                num_samples=num_samples,
                 global_batch_size=self.scale.global_batch_size,
                 batches_per_shard=cfg.batches_per_shard,
                 epochs=epochs,
                 shuffler=ShardShuffler(seed=self.seed),
                 op_cost_s=cfg.dds_op_overhead_s,
-                # Per-sample coverage counters cost a numpy slice-add on every
-                # confirmed range; only the integrity experiments read them
-                # (they build their own allocator with track_coverage=True).
-                track_coverage=False,
+                track_coverage=self.track_coverage,
                 # Keep the shard granularity proportional to the global batch
                 # (as in the paper, where a shard covers M global batches) but
                 # never below two worker-batches, so the scaled-down runs
@@ -81,7 +90,7 @@ class PSExperiment:
             )
         else:
             allocator = StaticPartition(
-                num_samples=self.scale.num_samples,
+                num_samples=num_samples,
                 workers=[node.name for node in cluster.workers],
                 epochs=epochs,
             )
@@ -99,6 +108,7 @@ class PSExperiment:
             pending_model=pending_model(self.scale, busy=self.cluster_busy),
             node_init_time=self.scale.node_init_time_s,
             metrics=metrics,
+            failure_injector=self.failure_injector,
         )
         return PSTrainingJob(
             env=env,
@@ -129,6 +139,7 @@ def run_ps_experiment(
     backend: Optional[ComputeBackend] = None,
     evaluate_after_run: bool = False,
     epochs: Optional[int] = None,
+    failure_injector: Optional[FailureInjector] = None,
 ) -> PSRunResult:
     """Convenience wrapper: run one PS training experiment and return its result."""
     spec = get_method(method) if isinstance(method, str) else method
@@ -143,5 +154,6 @@ def run_ps_experiment(
         backend=backend,
         evaluate_after_run=evaluate_after_run,
         epochs=epochs,
+        failure_injector=failure_injector,
     )
     return experiment.run()

@@ -11,13 +11,18 @@ occurring stragglers cannot be controlled (§VII-A.4):
   (one slow server throttles the whole job).
 * **Trace scenario** — the mixed pattern used to regenerate the motivating BPT
   traces of Fig. 1 (a deterministic slow node, a transient node, a persistent
-  node, background noise everywhere).
+  node, background noise everywhere), expressed as ``side="trace"``.
+
+:class:`StragglerScenario` is a *serializable* declarative description — it
+round-trips through :meth:`~StragglerScenario.to_dict` /
+:meth:`~StragglerScenario.from_dict` — so the scenario subsystem
+(:mod:`repro.scenarios`) can embed it in golden-traced scenario specs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -33,15 +38,24 @@ from ..sim.contention import (
 from .workloads import ExperimentScale
 
 __all__ = ["StragglerScenario", "NO_STRAGGLERS", "worker_scenario", "server_scenario",
-           "apply_scenario", "apply_trace_pattern"]
+           "trace_scenario", "apply_scenario", "apply_trace_pattern"]
 
 
 @dataclass(frozen=True)
 class StragglerScenario:
-    """Declarative description of which stragglers to inject."""
+    """Declarative description of which stragglers to inject.
+
+    ``side`` selects the paper's injection pattern: ``"worker"`` and
+    ``"server"`` are the §VII-A.4 scenarios, ``"trace"`` is the mixed Fig. 1
+    pattern (transient + persistent + deterministic workers plus a slow server,
+    with background noise everywhere), and ``"none"`` injects nothing.  A
+    ``transient_fraction`` of exactly 0 turns the worker scenario into a
+    persistent-only pattern (a single severe straggler and no transient
+    burst workers).
+    """
 
     name: str
-    side: str  # "none", "worker", or "server"
+    side: str  # "none", "worker", "server", or "trace"
     intensity: float = 0.8
     sleep_duration_s: float = 1.5
     persistent_delay_s: float = 4.0
@@ -49,12 +63,22 @@ class StragglerScenario:
     include_persistent_worker: bool = True
 
     def __post_init__(self) -> None:
-        if self.side not in ("none", "worker", "server"):
-            raise ValueError("side must be 'none', 'worker' or 'server'")
+        if self.side not in ("none", "worker", "server", "trace"):
+            raise ValueError("side must be 'none', 'worker', 'server' or 'trace'")
         if not 0.0 <= self.intensity <= 1.0:
             raise ValueError("intensity must lie in [0, 1]")
         if not 0.0 <= self.transient_fraction <= 1.0:
             raise ValueError("transient_fraction must lie in [0, 1]")
+
+    # -- serialization -----------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-safe); inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "StragglerScenario":
+        """Rebuild a scenario from :meth:`to_dict` output (lossless)."""
+        return cls(**data)
 
 
 NO_STRAGGLERS = StragglerScenario(name="none", side="none", intensity=0.0)
@@ -79,6 +103,11 @@ def server_scenario(intensity: float = 0.8) -> StragglerScenario:
     )
 
 
+def trace_scenario(intensity: float = 0.8) -> StragglerScenario:
+    """The mixed Fig. 1 trace pattern as a declarative scenario."""
+    return StragglerScenario(name="fig1-trace", side="trace", intensity=intensity)
+
+
 def apply_scenario(cluster: Cluster, scenario: StragglerScenario, scale: ExperimentScale,
                    seed: int = 0) -> List[str]:
     """Inject the scenario's contention models into the cluster.
@@ -86,6 +115,9 @@ def apply_scenario(cluster: Cluster, scenario: StragglerScenario, scale: Experim
     Returns the names of the nodes that were turned into stragglers (useful
     for assertions in tests and for labelling figures).
     """
+    if scenario.side == "trace":
+        apply_trace_pattern(cluster, scale, seed=seed)
+        return [node.name for node in cluster.nodes]
     if scenario.side == "none" or scenario.intensity == 0.0:
         return []
     rng = np.random.default_rng(seed + 1009)
@@ -100,9 +132,13 @@ def apply_scenario(cluster: Cluster, scenario: StragglerScenario, scale: Experim
             cluster.set_contention(persistent_worker, ConstantContention(delay_seconds=delay))
             affected.append(persistent_worker)
         candidates = [node.name for node in workers if node.name != persistent_worker]
-        num_transient = max(1, int(round(scenario.transient_fraction * len(candidates))))
-        chosen = list(rng.choice(candidates, size=min(num_transient, len(candidates)),
-                                 replace=False))
+        if scenario.transient_fraction == 0.0:
+            # Persistent-only pattern: exactly the severe straggler, no bursts.
+            chosen: List[str] = []
+        else:
+            num_transient = max(1, int(round(scenario.transient_fraction * len(candidates))))
+            chosen = list(rng.choice(candidates, size=min(num_transient, len(candidates)),
+                                     replace=False))
         for index, name in enumerate(chosen):
             phase = float(rng.uniform(0.0, scale.straggler_period_s / 2))
             cluster.set_contention(

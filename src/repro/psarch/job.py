@@ -22,6 +22,7 @@ from ..core.sharding import DataAllocator, StatefulDDS
 from ..core.solutions.base import Solution
 from ..sim.cluster import Cluster, Node, NodeRole, NodeStatus
 from ..sim.engine import Environment
+from ..sim.failures import ErrorCode, NodeFailure
 from ..sim.metrics import MetricsRecorder
 from ..sim.scheduler import ClusterScheduler, PendingTimeModel
 from .backend import ComputeBackend, SyntheticBackend
@@ -271,6 +272,27 @@ class PSTrainingJob:
                 if granted:
                     self.metrics.log_event(self.env.now, "kill_restart", node_name, reason)
                 return granted
+        return False
+
+    def inject_failure(self, node_name: str, code: ErrorCode, detail: str = "") -> bool:
+        """Terminate ``node_name`` with an external failure and relaunch it.
+
+        This is the entry point scenario failure traces (evictions, machine
+        faults) use: the node rides the normal failover path, the relaunch is
+        recorded under ``code``, and the Monitor receives the termination as a
+        node event — exactly what it would observe from a real cluster.
+        """
+        for collection in (self.workers, self.servers):
+            for member in collection:
+                if member.name == node_name:
+                    granted = member.inject_failure(code)
+                    if granted:
+                        now = self.env.now
+                        self.metrics.log_event(now, "injected_failure", node_name, code.value)
+                        self.monitor.report_node_event(
+                            NodeFailure(node_name=node_name, code=code, time=now, detail=detail)
+                        )
+                    return granted
         return False
 
     def set_backup_workers(self, num_backup: int) -> None:

@@ -86,12 +86,21 @@ class ParameterServer:
     # -- controller-facing API -----------------------------------------------------
     def request_kill_restart(self) -> bool:
         """Kill this server and relaunch it (returns False if already restarting)."""
+        return self.inject_failure(ErrorCode.PROACTIVE_KILL)
+
+    def inject_failure(self, code: ErrorCode) -> bool:
+        """Terminate this server and relaunch it (returns False if already restarting).
+
+        The interrupt cause carries the :class:`ErrorCode` so the relaunch is
+        recorded under the real termination reason (see
+        :meth:`PSWorker.inject_failure <repro.psarch.worker.PSWorker.inject_failure>`).
+        """
         if not self.node.is_running or self.process is None or not self.process.is_alive:
             return False
         if self._restart_requested:
             return False
         self._restart_requested = True
-        self.process.interrupt("kill_restart")
+        self.process.interrupt(code)
         return True
 
     # -- simulation process -----------------------------------------------------------
@@ -143,10 +152,12 @@ class ParameterServer:
                 if self.requests_handled % stride == 0:
                     self.agent.report_server_request(handling, env.now)
                 current = None
-            except Interrupt:
+            except Interrupt as interrupt:
                 # KILL_RESTART (or injected failure): requeue any in-flight or
                 # half-delivered request so no worker waits forever, then
                 # relaunch the pod.
+                cause = interrupt.cause
+                code = cause if isinstance(cause, ErrorCode) else ErrorCode.PROACTIVE_KILL
                 if get_event is not None:
                     still_pending = self.queue.cancel(get_event)
                     if not still_pending and get_event.triggered:
@@ -157,7 +168,7 @@ class ParameterServer:
                 if current is not None and not current.done.triggered:
                     self.queue.put_left(current)
                     current = None
-                yield from self.scheduler.relaunch(self.node, ErrorCode.PROACTIVE_KILL)
+                yield from self.scheduler.relaunch(self.node, code)
                 yield self.env.timeout(self.config.server_recovery_time_s)
                 self.agent.reset_after_restart()
                 self._restart_requested = False

@@ -93,12 +93,22 @@ class PSWorker:
     # -- controller-facing API ----------------------------------------------------
     def request_kill_restart(self) -> bool:
         """Kill this worker and relaunch it (returns False if already restarting)."""
+        return self.inject_failure(ErrorCode.PROACTIVE_KILL)
+
+    def inject_failure(self, code: ErrorCode) -> bool:
+        """Terminate this worker and relaunch it (returns False if already restarting).
+
+        The interrupt cause carries the :class:`ErrorCode` — the Controller's
+        proactive kill and externally injected failures (eviction, machine
+        fault) ride the same failover path, and the relaunch is recorded under
+        the real termination reason.
+        """
         if not self.node.is_running or self.process is None or not self.process.is_alive:
             return False
         if self._restart_requested:
             return False
         self._restart_requested = True
-        self.process.interrupt("kill_restart")
+        self.process.interrupt(code)
         return True
 
     # -- action handling ------------------------------------------------------------
@@ -140,11 +150,12 @@ class PSWorker:
 
     # -- failover ---------------------------------------------------------------------
     def _failover(self, cause: object):
-        self.metrics.log_event(self.env.now, "worker_failover", self.name, str(cause))
+        code = cause if isinstance(cause, ErrorCode) else ErrorCode.PROACTIVE_KILL
+        self.metrics.log_event(self.env.now, "worker_failover", self.name, code.value)
         self._exit_barrier()
         self.allocator.on_worker_failover(self.name)
         self.agent.reset_after_restart()
-        yield from self.scheduler.relaunch(self.node, ErrorCode.PROACTIVE_KILL)
+        yield from self.scheduler.relaunch(self.node, code)
         yield self.env.timeout(self.config.worker_recovery_time_s)
         self._enter_barrier()
         self._restart_requested = False

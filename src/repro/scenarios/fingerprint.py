@@ -1,0 +1,98 @@
+"""Golden-trace fingerprints of deterministic scenario runs.
+
+A fingerprint reduces one simulated run to a compact, byte-stable summary of
+its *behaviour*: makespan, step counts, throughput, restart/failure history,
+Controller actions, and per-worker event digests.  Two runs of the same
+:class:`~repro.scenarios.spec.ScenarioSpec` must produce byte-identical
+fingerprints (the simulator is deterministic given a seed), so checked-in
+fingerprints act as golden traces: any behavioural drift — an engine fast-path
+that reorders events, a refactor that changes a threshold — shows up as a
+diff against ``tests/golden/traces/``.
+
+Engine internals (event counts, queue sizes) are deliberately *excluded*:
+perf PRs are free to change how the behaviour is computed, not what it is.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..sim.failures import FailureInjector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..psarch.job import PSRunResult
+    from .spec import ScenarioSpec
+
+__all__ = ["fingerprint", "canonical_json", "series_digest"]
+
+#: Decimal places kept for times/values inside digests and summary floats.
+#: Well above the simulator's event-granularity, well below accumulated
+#: float-noise territory — reruns of a deterministic engine reproduce the
+#: exact same arithmetic, so full precision would also work; the rounding
+#: keeps the traces readable and diffable.
+_DIGITS = 9
+
+
+def _round(value: float) -> float:
+    return round(float(value), _DIGITS)
+
+
+def series_digest(times: List[float], values: List[float]) -> str:
+    """Stable short digest of one (times, values) event series."""
+    hasher = hashlib.sha256()
+    for time, value in zip(times, values):
+        hasher.update(f"{time:.{_DIGITS}e},{value:.{_DIGITS}e};".encode("ascii"))
+    return hasher.hexdigest()[:16]
+
+
+def canonical_json(payload: Dict[str, object]) -> str:
+    """The canonical byte form golden traces are stored and compared in."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def fingerprint(spec: "ScenarioSpec", result: "PSRunResult",
+                injector: Optional[FailureInjector] = None) -> Dict[str, object]:
+    """Reduce one deterministic run to its golden-trace fingerprint."""
+    metrics = result.metrics
+    workers: Dict[str, Dict[str, object]] = {}
+    if metrics is not None:
+        for worker in metrics.tags("bpt"):
+            series = metrics.series("bpt", worker)
+            batch_series = metrics.series("batch_size", worker)
+            workers[worker] = {
+                "iterations": len(series),
+                "bpt_digest": series_digest(series.times(), series.values()),
+                "batch_digest": series_digest(batch_series.times(), batch_series.values()),
+            }
+    actions: Dict[str, int] = {}
+    for action in result.action_log:
+        key = action.action_type.value
+        actions[key] = actions.get(key, 0) + 1
+    failures: List[Dict[str, object]] = []
+    if injector is not None:
+        failures = [
+            {"time_s": _round(event.time), "node": event.node_name, "code": event.code.value}
+            for event in injector.history
+        ]
+    jct = result.jct
+    return {
+        "scenario": spec.name,
+        "method": spec.method,
+        "seed": spec.seed,
+        "completed": result.completed,
+        "jct_s": _round(jct),
+        "total_samples": result.total_samples,
+        "samples_confirmed": result.samples_confirmed,
+        "throughput_samples_per_s": _round(result.samples_confirmed / jct) if jct > 0 else 0.0,
+        "dropped_iterations": result.dropped_iterations,
+        "done_shards": result.done_shards,
+        "total_shards": result.total_shards,
+        "restarts": {
+            node: count for node, count in sorted(result.restarts_per_node.items()) if count
+        },
+        "actions": actions,
+        "failures": failures,
+        "workers": workers,
+    }

@@ -1,0 +1,221 @@
+"""Build, run, and sweep declarative scenarios.
+
+:func:`build_scenario_job` turns a :class:`~repro.scenarios.spec.ScenarioSpec`
+into a ready-to-run :class:`~repro.psarch.job.PSTrainingJob` (cluster built,
+stragglers applied, heterogeneity composed, failure trace armed);
+:func:`run_scenario` runs it and reduces the outcome to a structured
+:class:`ScenarioResult` with a golden-trace fingerprint; and
+:class:`ScenarioMatrix` sweeps a whole grid of scenarios through the
+experiment runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines.registry import get_method
+from ..experiments.runner import PSExperiment
+from ..psarch.backend import ComputeBackend
+from ..psarch.job import PSRunResult, PSTrainingJob
+from ..sim.cluster import Cluster
+from ..sim.contention import CompositeContention, DeterministicSlowdown
+from ..sim.failures import FailureInjector
+from .fingerprint import canonical_json, fingerprint
+from .spec import FailureEvent, ScenarioSpec, TopologySpec
+
+__all__ = ["ScenarioResult", "ScenarioMatrix", "build_scenario_job", "run_scenario"]
+
+
+def _build_experiment(spec: ScenarioSpec,
+                      backend: Optional[ComputeBackend] = None,
+                      evaluate_after_run: bool = False,
+                      num_samples: Optional[int] = None,
+                      track_coverage: bool = False,
+                      failure_injector: Optional[FailureInjector] = None) -> PSExperiment:
+    """The bare :class:`PSExperiment` behind a scenario spec.
+
+    Internal: the experiment alone carries neither the failure trace nor the
+    topology heterogeneity — :func:`build_scenario_job` arms those on the
+    built job and is the public entry point.  The keyword overrides cover the
+    handful of knobs that are *not* part of the declarative scenario (a real
+    compute backend, dataset-driven sample counts, coverage accounting) so
+    experiments like the §VII-D integrity runs can still be spec-driven.
+    """
+    injector = failure_injector if failure_injector is not None else FailureInjector(
+        np.random.default_rng(spec.seed))
+    return PSExperiment(
+        method=get_method(spec.method),
+        scale=spec.resolve_scale(),
+        scenario=spec.stragglers,
+        seed=spec.seed,
+        dedicated=spec.topology.dedicated,
+        cluster_busy=spec.topology.cluster_busy,
+        backend=backend,
+        evaluate_after_run=evaluate_after_run,
+        epochs=spec.epochs,
+        num_samples=num_samples,
+        track_coverage=track_coverage,
+        failure_injector=injector,
+    )
+
+
+def _apply_heterogeneity(cluster: Cluster, topology: TopologySpec) -> List[str]:
+    """Slow down the leading fraction of workers (older hardware series)."""
+    if topology.slow_worker_fraction <= 0.0:
+        return []
+    workers = cluster.workers
+    count = max(1, int(round(topology.slow_worker_fraction * len(workers))))
+    slowed: List[str] = []
+    for node in workers[:count]:
+        slowdown = DeterministicSlowdown(factor=topology.slow_factor)
+        existing = node.contention
+        cluster.set_contention(
+            node.name,
+            slowdown if existing.is_null else CompositeContention([existing, slowdown]),
+        )
+        slowed.append(node.name)
+    return slowed
+
+
+def _failure_trace_process(job: PSTrainingJob, events: Sequence[FailureEvent]):
+    """Simulation process that replays a failure trace against the job.
+
+    An injection the job refuses (the node is already mid-restart when its
+    event fires) cannot take effect; it is logged as a ``failure_skipped``
+    metrics event so the divergence from the declared trace is visible in the
+    run record rather than silent.
+    """
+    env = job.env
+    for event in sorted(events, key=lambda item: item.time_s):
+        delay = event.time_s - env.now
+        if delay > 0:
+            yield env.timeout(delay)
+        if job.completed:
+            return
+        granted = job.inject_failure(event.node, event.error_code, detail="failure-trace")
+        if not granted:
+            job.metrics.log_event(env.now, "failure_skipped", event.node, event.code)
+
+
+def build_scenario_job(spec: ScenarioSpec, **overrides: object
+                       ) -> Tuple[PSTrainingJob, FailureInjector]:
+    """Assemble the runnable job (with armed failure trace) for a scenario.
+
+    Returns the job plus the failure injector that will record every relaunch,
+    so callers that need job internals (allocator state, agent overheads) can
+    still fingerprint the run afterwards.  Raises ``ValueError`` when the
+    failure trace names a node that does not exist in the resolved topology —
+    otherwise a typo'd spec would produce a plausible golden trace for a
+    scenario that never ran.
+    """
+    injector = overrides.pop("failure_injector", None) or FailureInjector(
+        np.random.default_rng(spec.seed))
+    experiment = _build_experiment(spec, failure_injector=injector, **overrides)
+    job = experiment.build_job()
+    unknown = sorted({event.node for event in spec.failures.events}
+                     - {node.name for node in job.cluster.nodes})
+    if unknown:
+        raise ValueError(
+            f"scenario {spec.name!r}: failure trace names nodes not in the "
+            f"resolved topology: {unknown}")
+    _apply_heterogeneity(job.cluster, spec.topology)
+    if spec.failures:
+        job.env.process(_failure_trace_process(job, spec.failures.events))
+    return job, injector
+
+
+@dataclass
+class ScenarioResult:
+    """Structured outcome of one scenario run."""
+
+    spec: ScenarioSpec
+    run: PSRunResult
+    fingerprint: Dict[str, object]
+
+    @property
+    def name(self) -> str:
+        """The scenario's name."""
+        return self.spec.name
+
+    @property
+    def jct(self) -> float:
+        """Job completion time in seconds."""
+        return self.run.jct
+
+    def golden_trace(self) -> str:
+        """Canonical byte form of the fingerprint (golden-trace contents)."""
+        return canonical_json(self.fingerprint)
+
+    def summary_row(self) -> List[object]:
+        """One table row for :func:`repro.experiments.reporting.format_table`."""
+        return [
+            self.spec.name,
+            self.spec.method,
+            f"{self.run.jct:.1f}",
+            self.run.samples_confirmed,
+            sum(self.run.restarts_per_node.values()),
+            len(self.fingerprint["failures"]),
+        ]
+
+
+def run_scenario(spec: ScenarioSpec, **overrides: object) -> ScenarioResult:
+    """Run one scenario to completion and fingerprint its behaviour."""
+    job, injector = build_scenario_job(spec, **overrides)
+    result = job.run()
+    return ScenarioResult(spec=spec, run=result,
+                          fingerprint=fingerprint(spec, result, injector))
+
+
+class ScenarioMatrix:
+    """A grid of scenarios swept through the experiment runner.
+
+    The default grid is every registered scenario; ``tags`` restricts the
+    sweep (a scenario qualifies when it carries *any* of the given tags).
+    """
+
+    def __init__(self, specs: Optional[Iterable[ScenarioSpec]] = None,
+                 tags: Optional[Sequence[str]] = None) -> None:
+        if specs is None:
+            from .registry import all_scenarios
+
+            specs = all_scenarios()
+        selected = list(specs)
+        if tags is not None:
+            wanted = set(tags)
+            selected = [spec for spec in selected if wanted & set(spec.tags)]
+        names = [spec.name for spec in selected]
+        if len(set(names)) != len(names):
+            raise ValueError("scenario names in a matrix must be unique")
+        self.specs: List[ScenarioSpec] = selected
+        self._results: Optional[List[ScenarioResult]] = None
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def run(self) -> List[ScenarioResult]:
+        """Run every scenario in the matrix (deterministic order).
+
+        Scenario runs are deterministic, so the results are computed once and
+        cached — :meth:`fingerprints` and :meth:`summary_table` share them
+        instead of re-simulating the grid.
+        """
+        if self._results is None:
+            self._results = [run_scenario(spec) for spec in self.specs]
+        return self._results
+
+    def fingerprints(self) -> Dict[str, Dict[str, object]]:
+        """Scenario-name -> fingerprint for the whole grid."""
+        return {result.name: result.fingerprint for result in self.run()}
+
+    def summary_table(self) -> str:
+        """The grid's outcomes as a fixed-width text table."""
+        from ..experiments.reporting import format_table
+
+        headers = ["scenario", "method", "JCT (s)", "samples", "restarts", "failures"]
+        return format_table(headers, [result.summary_row() for result in self.run()])

@@ -1,0 +1,269 @@
+"""Named registry of built-in (and user-defined) scenarios.
+
+Every operating condition the evaluation cares about is registered here once,
+declaratively, instead of being hand-wired inside individual experiment
+modules.  The built-in catalogue spans the paper's full matrix: dedicated and
+non-dedicated clusters, transient / persistent / server-side / mixed-trace
+stragglers, scheduler congestion, eviction storms, checkpoint-free failover,
+heterogeneous hardware, and a 120-worker scale point.  Each registered
+scenario is pinned to a golden trace under ``tests/golden/traces/``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..experiments.stragglers import (
+    NO_STRAGGLERS,
+    StragglerScenario,
+    server_scenario,
+    trace_scenario,
+    worker_scenario,
+)
+from ..sim.failures import ErrorCode
+from .spec import FailureEvent, FailureTraceSpec, ScenarioSpec, TopologySpec
+
+__all__ = ["SCENARIOS", "register_scenario", "get_scenario", "all_scenarios",
+           "scenario_names"]
+
+SCENARIOS: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec, overwrite: bool = False) -> ScenarioSpec:
+    """Register a scenario under its name; returns the spec for chaining."""
+    if not overwrite and spec.name in SCENARIOS:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    SCENARIOS[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}") from None
+
+
+def all_scenarios(tags: Optional[Sequence[str]] = None) -> List[ScenarioSpec]:
+    """Every registered scenario (optionally: carrying any of ``tags``), by name."""
+    specs = [SCENARIOS[name] for name in sorted(SCENARIOS)]
+    if tags is None:
+        return specs
+    wanted = set(tags)
+    return [spec for spec in specs if wanted & set(spec.tags)]
+
+
+def scenario_names() -> List[str]:
+    """Sorted names of every registered scenario."""
+    return sorted(SCENARIOS)
+
+
+# ---------------------------------------------------------------------------
+# Built-in catalogue.  Seeds are fixed per scenario so the golden traces are
+# stable; every spec must stay cheap enough for the tier-1 golden suite
+# (the whole catalogue runs in a few seconds).
+# ---------------------------------------------------------------------------
+
+# -- dedicated clusters (Cluster-A analogue) --------------------------------
+register_scenario(ScenarioSpec(
+    name="dedicated-baseline",
+    method="bsp",
+    seed=1,
+    description="Native BSP on a dedicated leader cluster: the clean reference run.",
+    tags=("dedicated", "clean", "bsp"),
+))
+
+register_scenario(ScenarioSpec(
+    name="dedicated-antdt-nd",
+    method="antdt-nd",
+    seed=1,
+    description="AntDT-ND on a dedicated cluster: mitigation must not hurt a clean run.",
+    tags=("dedicated", "clean"),
+))
+
+# -- non-dedicated clusters (Cluster-C analogue): straggler patterns --------
+register_scenario(ScenarioSpec(
+    name="nd-transient-mild",
+    method="antdt-nd",
+    seed=2,
+    topology=TopologySpec(dedicated=False),
+    stragglers=worker_scenario(0.3, include_persistent=False),
+    description="Mild transient bursts on ~30% of the workers (no persistent straggler).",
+    tags=("non-dedicated", "transient"),
+))
+
+register_scenario(ScenarioSpec(
+    name="nd-transient-heavy-bsp",
+    method="bsp",
+    seed=2,
+    topology=TopologySpec(dedicated=False),
+    stragglers=worker_scenario(0.8, include_persistent=False),
+    description="Heavy transient bursts under native BSP: the un-mitigated baseline.",
+    tags=("non-dedicated", "transient", "bsp"),
+))
+
+register_scenario(ScenarioSpec(
+    name="nd-transient-heavy-antdt",
+    method="antdt-nd",
+    seed=2,
+    topology=TopologySpec(dedicated=False),
+    stragglers=worker_scenario(0.8, include_persistent=False),
+    description="Heavy transient bursts under AntDT-ND (ADJUST_BS rebalancing).",
+    tags=("non-dedicated", "transient"),
+))
+
+register_scenario(ScenarioSpec(
+    name="nd-persistent-worker",
+    method="antdt-nd",
+    seed=3,
+    topology=TopologySpec(dedicated=False),
+    stragglers=worker_scenario(0.8),
+    description="Transient bursts plus one severe persistent worker (KILL_RESTART path).",
+    tags=("non-dedicated", "persistent"),
+))
+
+register_scenario(ScenarioSpec(
+    name="nd-persistent-only",
+    method="antdt-nd",
+    seed=3,
+    topology=TopologySpec(dedicated=False),
+    stragglers=StragglerScenario(
+        name="persistent-only",
+        side="worker",
+        intensity=1.0,
+        persistent_delay_s=3.0,
+        transient_fraction=0.0,
+    ),
+    description="A single severe persistent straggler and nothing else.",
+    tags=("non-dedicated", "persistent"),
+))
+
+register_scenario(ScenarioSpec(
+    name="nd-server-straggler",
+    method="antdt-nd",
+    seed=4,
+    topology=TopologySpec(dedicated=False),
+    stragglers=server_scenario(0.8),
+    description="One contended parameter server throttling the whole job.",
+    tags=("non-dedicated", "server"),
+))
+
+register_scenario(ScenarioSpec(
+    name="nd-mixed-trace",
+    method="bsp",
+    seed=5,
+    topology=TopologySpec(dedicated=False),
+    stragglers=trace_scenario(),
+    description="The mixed Fig. 1 pattern: transient, persistent and deterministic "
+                "workers, a slow server, background noise everywhere.",
+    tags=("non-dedicated", "trace", "bsp"),
+))
+
+# -- ASP family -------------------------------------------------------------
+register_scenario(ScenarioSpec(
+    name="asp-uneven-consumption",
+    method="asp-dds",
+    seed=6,
+    topology=TopologySpec(dedicated=False),
+    stragglers=worker_scenario(0.8),
+    description="ASP with the Stateful DDS: stragglers consume fewer samples (Fig. 3).",
+    tags=("non-dedicated", "asp"),
+))
+
+register_scenario(ScenarioSpec(
+    name="asp-antdt",
+    method="antdt-nd-asp",
+    seed=6,
+    topology=TopologySpec(dedicated=False),
+    stragglers=worker_scenario(0.8),
+    description="AntDT-ND in ASP mode (KILL_RESTART only, on top of the DDS).",
+    tags=("non-dedicated", "asp"),
+))
+
+# -- scheduler congestion ---------------------------------------------------
+register_scenario(ScenarioSpec(
+    name="busy-cluster-gate",
+    method="antdt-nd",
+    seed=7,
+    topology=TopologySpec(dedicated=False, cluster_busy=True),
+    stragglers=worker_scenario(0.8),
+    description="Peak-hour scheduling queue: the pending-time gate must veto "
+                "KILL_RESTART and fall back to ADJUST_BS.",
+    tags=("non-dedicated", "busy"),
+))
+
+# -- failure traces ---------------------------------------------------------
+register_scenario(ScenarioSpec(
+    name="eviction-storm",
+    method="antdt-nd",
+    seed=8,
+    topology=TopologySpec(dedicated=False),
+    stragglers=worker_scenario(0.5, include_persistent=False),
+    failures=FailureTraceSpec(
+        events=FailureTraceSpec.storm(
+            ("worker-1", "worker-2", "worker-3"), start_s=30.0, interval_s=15.0,
+            code=ErrorCode.JOB_EVICTION,
+        ).events + (
+            FailureEvent(time_s=90.0, node="worker-0",
+                         code=ErrorCode.MACHINE_FAILURE.value),
+        ),
+    ),
+    description="The cluster scheduler reclaims capacity: three evictions in a row "
+                "plus a machine fault, all mid-epoch; the DDS must requeue every "
+                "in-flight shard.",
+    tags=("non-dedicated", "failures", "eviction"),
+))
+
+register_scenario(ScenarioSpec(
+    name="checkpoint-failover",
+    method="bsp",
+    seed=9,
+    failures=FailureTraceSpec(events=(
+        FailureEvent(time_s=60.0, node="worker-2",
+                     code=ErrorCode.MACHINE_FAILURE.value),
+    )),
+    description="A single machine fault mid-epoch on an otherwise clean run: the "
+                "DDS-based failover recomputes only the crashed worker's shard "
+                "(Fig. 17's protocol comparison).",
+    tags=("dedicated", "failures", "checkpoint"),
+))
+
+register_scenario(ScenarioSpec(
+    name="server-eviction",
+    method="antdt-nd",
+    seed=10,
+    failures=FailureTraceSpec(events=(
+        FailureEvent(time_s=50.0, node="server-1",
+                     code=ErrorCode.JOB_EVICTION.value),
+    )),
+    description="A parameter server is evicted mid-run; its queue must drain to "
+                "the relaunched pod without losing a push.",
+    tags=("dedicated", "failures", "server"),
+))
+
+# -- heterogeneous hardware -------------------------------------------------
+register_scenario(ScenarioSpec(
+    name="hetero-static-partition",
+    method="asp",
+    seed=11,
+    topology=TopologySpec(slow_worker_fraction=1.0 / 3.0, slow_factor=2.5),
+    stragglers=NO_STRAGGLERS,
+    description="A third of the workers on an older machine series under a static "
+                "even partition: deterministic stragglers dominate the tail.",
+    tags=("hetero", "asp"),
+))
+
+# -- scale ------------------------------------------------------------------
+register_scenario(ScenarioSpec(
+    name="scale-120w",
+    method="antdt-nd",
+    scale="auto",
+    seed=12,
+    topology=TopologySpec(num_workers=120, dedicated=False),
+    stragglers=worker_scenario(0.8),
+    description="The 120-worker scale point of the perf sweep under heavy worker "
+                "stragglers.",
+    tags=("non-dedicated", "scale", "slow"),
+))

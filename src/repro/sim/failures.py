@@ -12,10 +12,13 @@ the Stateful DDS.
 from __future__ import annotations
 
 import enum
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
+
+from .metrics import window_start
 
 __all__ = [
     "ErrorCode",
@@ -121,11 +124,46 @@ class FailureInjector:
         return self._codes[index]
 
     def record(self, node_name: str, code: ErrorCode, time: float, detail: str = "") -> NodeFailure:
-        """Record a failure occurrence and return it."""
-        failure = NodeFailure(node_name=node_name, code=code, time=time, detail=detail)
-        self.history.append(failure)
+        """Record a failure occurrence and return it.
+
+        ``time`` must be non-negative: the sliding-window queries share the
+        Monitor's half-open ``(start, now]`` semantics in which the first
+        window of a run is widened to reach the run start, and a failure
+        stamped before t=0 could never be attributed to any window.  The
+        history is kept sorted by time, so traces whose events are injected by
+        concurrent simulation processes still read back in order.
+        """
+        if time < 0:
+            raise ValueError("failure time must be non-negative (the run starts at t=0)")
+        failure = NodeFailure(node_name=node_name, code=code, time=float(time), detail=detail)
+        history = self.history
+        if history and failure.time < history[-1].time:
+            insort(history, failure, key=lambda event: event.time)
+        else:
+            history.append(failure)
         return failure
 
     def failures_for(self, node_name: str) -> List[NodeFailure]:
         """All recorded failures of a given node."""
         return [failure for failure in self.history if failure.node_name == node_name]
+
+    def failures_between(self, start: float, end: float) -> List[NodeFailure]:
+        """Failures inside the half-open interval ``(start, end]``.
+
+        The boundary semantics mirror
+        :meth:`repro.sim.metrics.MetricSeries.window`: a failure recorded
+        exactly at ``start`` belongs to the previous window, so back-to-back
+        windows partition the history without double counting.
+        """
+        return [failure for failure in self.history if start < failure.time <= end]
+
+    def failures_in_window(self, window_s: float, now: float) -> List[NodeFailure]:
+        """Failures in the sliding window ``(now - window_s, now]``.
+
+        Uses the shared :func:`repro.sim.metrics.window_start` widening, so a
+        failure injected exactly at t=0 is attributed to the *first* window of
+        the run — consistent with the Monitor's documented half-open window
+        semantics — instead of falling on the open edge and vanishing from
+        every window query.
+        """
+        return self.failures_between(window_start(window_s, now), now)

@@ -10,12 +10,30 @@ components write to, and the experiment layer reads series back out of it.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_right
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["MetricPoint", "MetricSeries", "MetricsRecorder"]
+__all__ = ["MetricPoint", "MetricSeries", "MetricsRecorder", "window_start"]
+
+
+def window_start(window_s: float, now: float) -> float:
+    """Left edge of the half-open sliding window ``(start, now]`` ending at ``now``.
+
+    Window queries across the code base (the Monitor's ``L_trans`` / ``L_per``
+    windows, the failure injector's failure-rate windows) use half-open
+    ``(start, now]`` intervals so consecutive windows never double count an
+    observation.  For the *first* window of a run the naive ``now - window_s``
+    start would silently exclude an observation recorded exactly at t=0
+    (``bisect_right`` places it at the open edge); when the window reaches back
+    to (or past) the start of the run there is no previous window that could
+    have claimed the boundary observation, so the window is widened to cover
+    everything up to ``now``.
+    """
+    start = now - window_s
+    return start if start > 0.0 else -math.inf
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,21 @@
+"""Fixtures for the golden-trace suite."""
+
+from pathlib import Path
+
+import pytest
+
+#: Where the checked-in golden traces live (one JSON file per scenario).
+TRACE_DIR = Path(__file__).resolve().parent / "traces"
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """True when the run should rewrite traces instead of comparing them."""
+    return bool(request.config.getoption("--update-golden"))
+
+
+@pytest.fixture
+def trace_dir() -> Path:
+    """The golden-trace directory (created on demand)."""
+    TRACE_DIR.mkdir(parents=True, exist_ok=True)
+    return TRACE_DIR

@@ -1,0 +1,137 @@
+"""Property-based tests: ScenarioSpec serialization round-trips losslessly.
+
+Hypothesis generates random (but valid) scenario specs — nested topologies,
+straggler patterns, failure traces, scale overrides — and checks that
+``spec -> to_dict -> from_dict`` and ``spec -> JSON -> spec`` are the
+identity, that the dict form is genuinely JSON-safe, and that resolution to
+an :class:`ExperimentScale` is a pure function of the spec.
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.registry import PS_METHODS
+from repro.experiments.stragglers import StragglerScenario
+from repro.experiments.workloads import SCALES
+from repro.scenarios import (
+    FailureEvent,
+    FailureTraceSpec,
+    ScenarioSpec,
+    TopologySpec,
+)
+from repro.sim.failures import ErrorCode
+
+_NAMES = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=24)
+_TIMES = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+_FRACTIONS = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def topology_specs(draw):
+    slow_fraction = draw(_FRACTIONS)
+    return TopologySpec(
+        num_workers=draw(st.one_of(st.none(), st.integers(min_value=1, max_value=256))),
+        num_servers=draw(st.one_of(st.none(), st.integers(min_value=0, max_value=64))),
+        dedicated=draw(st.booleans()),
+        cluster_busy=draw(st.booleans()),
+        slow_worker_fraction=slow_fraction,
+        slow_factor=draw(st.floats(min_value=1.0 + 1e-9, max_value=16.0, allow_nan=False))
+        if slow_fraction > 0.0 else 1.0,
+    )
+
+
+@st.composite
+def straggler_scenarios(draw):
+    return StragglerScenario(
+        name=draw(_NAMES),
+        side=draw(st.sampled_from(["none", "worker", "server", "trace"])),
+        intensity=draw(_FRACTIONS),
+        sleep_duration_s=draw(st.floats(min_value=0.0, max_value=60.0, allow_nan=False)),
+        persistent_delay_s=draw(st.floats(min_value=0.0, max_value=60.0, allow_nan=False)),
+        transient_fraction=draw(_FRACTIONS),
+        include_persistent_worker=draw(st.booleans()),
+    )
+
+
+@st.composite
+def failure_traces(draw):
+    events = draw(st.lists(
+        st.builds(
+            FailureEvent,
+            time_s=_TIMES,
+            node=_NAMES,
+            code=st.sampled_from([code.value for code in ErrorCode]),
+        ),
+        max_size=6,
+    ))
+    return FailureTraceSpec(events=tuple(events))
+
+
+@st.composite
+def scenario_specs(draw):
+    scale = draw(st.sampled_from(sorted(SCALES)))
+    topology = draw(topology_specs())
+    return ScenarioSpec(
+        name=draw(_NAMES),
+        method=draw(st.sampled_from(sorted(PS_METHODS))),
+        scale=scale,
+        seed=draw(st.integers(min_value=0, max_value=2**31 - 1)),
+        description=draw(st.text(max_size=40)),
+        tags=tuple(draw(st.lists(_NAMES, max_size=4))),
+        topology=topology,
+        stragglers=draw(straggler_scenarios()),
+        failures=draw(failure_traces()),
+        iterations=draw(st.one_of(st.none(), st.integers(min_value=1, max_value=500))),
+        epochs=draw(st.one_of(st.none(), st.integers(min_value=1, max_value=4))),
+        scale_overrides=tuple(draw(st.lists(
+            st.tuples(
+                st.sampled_from(["control_interval_s", "transient_window_s",
+                                 "persistent_window_s", "straggler_period_s",
+                                 "idle_pending_time_s"]),
+                st.floats(min_value=0.5, max_value=600.0, allow_nan=False),
+            ),
+            max_size=3,
+            unique_by=lambda pair: pair[0],
+        ))),
+    )
+
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(spec=scenario_specs())
+def test_dict_roundtrip_is_lossless(spec):
+    assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(spec=scenario_specs())
+def test_json_roundtrip_is_lossless(spec):
+    rebuilt = ScenarioSpec.from_json(spec.to_json())
+    assert rebuilt == spec
+    # And the dict form really is JSON-safe (no tuples, enums, numpy types).
+    assert json.loads(spec.to_json()) == json.loads(rebuilt.to_json())
+
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(spec=scenario_specs())
+def test_roundtrip_preserves_resolved_scale(spec):
+    rebuilt = ScenarioSpec.from_dict(spec.to_dict())
+    assert rebuilt.resolve_scale() == spec.resolve_scale()
+
+
+@settings(max_examples=30, deadline=None, derandomize=True)
+@given(spec=scenario_specs())
+def test_custom_scale_pinning_roundtrips(spec):
+    """for_scale(custom object) encodes the scale losslessly into overrides."""
+    resolved = spec.resolve_scale()
+    pinned = ScenarioSpec.for_scale(resolved, name="pinned", method=spec.method)
+    rebuilt = ScenarioSpec.from_json(pinned.to_json())
+    assert rebuilt == pinned
+    assert rebuilt.resolve_scale() == resolved
+
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(scenario=straggler_scenarios())
+def test_straggler_scenario_roundtrips(scenario):
+    assert StragglerScenario.from_dict(scenario.to_dict()) == scenario
