@@ -5,7 +5,10 @@
 PYTHON ?= python
 PYTHONPATH_PREFIX = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: test tier1 fast golden golden-update bench
+## Parallel worker processes for orchestrated sweeps (python -m repro).
+JOBS ?= 2
+
+.PHONY: test tier1 fast golden golden-update sweep bench
 
 ## Full tier-1 suite (what the PR gate runs): unit + integration + property +
 ## golden traces + benchmarks.
@@ -25,10 +28,16 @@ golden:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest tests/golden -q
 
 ## Deliberately regenerate the golden traces after an intended behaviour
-## change, then re-verify.  Review the resulting diff like any code change.
+## change — through the parallel orchestrator CLI — then re-verify against
+## the serial pytest path.  Review the resulting diff like any code change.
 golden-update:
-	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest tests/golden -q --update-golden
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro golden-update --jobs $(JOBS)
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest tests/golden -q
+
+## Sweep the full scenario registry through the orchestrator (parallel,
+## cached in .repro-cache/).  Narrow with e.g. `make sweep JOBS=4`.
+sweep:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro sweep --jobs $(JOBS)
 
 ## Regenerate BENCH_engine.json (perf trajectory file).
 bench:

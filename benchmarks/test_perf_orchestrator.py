@@ -1,0 +1,53 @@
+"""Orchestrator sweep benchmark: parallel fan-out and cache-hit economics.
+
+Sweeps the fast (non-slow) scenario registry three ways — serial cold,
+2-process cold, warm cache — and records the measured wall times, speedups,
+and cache traffic into ``BENCH_engine.json`` so the orchestrator's execution
+cost is tracked across PRs alongside raw engine throughput.
+
+The numbers are machine-dependent (a single-core container shows little
+fan-out gain; the cache hit path is orders of magnitude faster everywhere),
+so the assertions only pin the semantics: parallel results match serial ones
+and the warm sweep must not simulate.
+"""
+
+from repro.orchestrator import ResultStore, SweepRunner
+from repro.perf import PerfReporter
+from repro.scenarios import all_scenarios
+
+
+def test_orchestrator_sweep_benchmark(tmp_path):
+    fast = [spec for spec in all_scenarios() if "slow" not in spec.tags]
+
+    serial = SweepRunner(jobs=1, store=None).run(fast)
+    assert not serial.errors and serial.simulated == len(fast)
+
+    parallel = SweepRunner(jobs=2, store=None).run(fast)
+    assert not parallel.errors
+    assert parallel.fingerprints() == serial.fingerprints()
+
+    store = ResultStore(tmp_path / "results.jsonl")
+    SweepRunner(jobs=1, store=store).run(fast)
+    warm = SweepRunner(jobs=1, store=ResultStore(store.path)).run(fast)
+    assert warm.simulated == 0 and warm.hits == len(fast)
+    cache_speedup = serial.wall_s / warm.wall_s if warm.wall_s > 0 else float("inf")
+
+    reporter = PerfReporter()
+    reporter.add("orchestrator_sweep_serial", wall_s=serial.wall_s,
+                 scenarios=len(fast), jobs=1.0,
+                 simulation_wall_s=serial.simulation_wall_s)
+    reporter.add("orchestrator_sweep_2proc", wall_s=parallel.wall_s,
+                 scenarios=len(fast), jobs=2.0,
+                 simulation_wall_s=parallel.simulation_wall_s,
+                 speedup=parallel.speedup)
+    reporter.add("orchestrator_sweep_warm_cache", wall_s=warm.wall_s,
+                 scenarios=len(fast), jobs=1.0, cache_hits=float(warm.hits),
+                 speedup_vs_serial=min(cache_speedup, 1e6))
+    reporter.write()
+
+    print("\nOrchestrator sweep benchmark "
+          f"({len(fast)} scenarios, fast registry subset):")
+    print(f"  serial cold : {serial.wall_s:.3f}s ({serial.stats_line()})")
+    print(f"  2-proc cold : {parallel.wall_s:.3f}s ({parallel.stats_line()})")
+    print(f"  warm cache  : {warm.wall_s*1e3:.1f}ms "
+          f"({cache_speedup:,.0f}x vs serial cold)")

@@ -32,6 +32,27 @@ if str(_SRC) not in sys.path:
 import pytest  # noqa: E402
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_store(tmp_path_factory):
+    """Point the orchestrator's result store at a per-session temp directory.
+
+    Orchestrated sweeps cache fingerprints under ``REPRO_CACHE_DIR`` (default:
+    ``.repro-cache/`` at the repo root); tests must neither read developer
+    caches nor litter the tree, so the whole session — including the pool
+    worker processes, which inherit the environment — uses a throwaway store.
+    Tests that exercise cache semantics pass an explicit store path instead.
+    """
+    import os
+
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+
+
 def pytest_addoption(parser):
     parser.addoption(
         "--update-golden",

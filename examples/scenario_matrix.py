@@ -55,11 +55,15 @@ def main() -> None:
     print("Spec round-trips losslessly through JSON:")
     print(custom.to_json())
 
-    # 3. Register and sweep it next to the built-in failure scenarios.
+    # 3. Register and sweep it next to the built-in failure scenarios.  The
+    #    matrix runs through the orchestrator (see examples/sweep_cli.py), so
+    #    REPRO_JOBS=4 parallelizes this sweep and repeat runs hit the
+    #    content-addressed result cache; exclude_tags trims the grid.
     register_scenario(custom)
-    matrix = ScenarioMatrix(all_scenarios(tags=("failures",)))
-    print(f"\nSweeping {len(matrix)} failure scenarios through the runner:\n")
+    matrix = ScenarioMatrix(all_scenarios(tags=("failures",)), exclude_tags=("slow",))
+    print(f"\nSweeping {len(matrix)} failure scenarios through the orchestrator:\n")
     print(matrix.summary_table())
+    print(matrix.last_report.stats_line())
 
     # 4. Fingerprint twice: deterministic runs make golden traces possible.
     first = run_scenario(custom).golden_trace()

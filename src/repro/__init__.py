@@ -13,6 +13,14 @@ for Leader and Straggler Nodes" (ICDE 2024) in pure Python:
   synthetic datasets) for the statistical/data-integrity experiments.
 * :mod:`repro.baselines` — BSP, ASP, ASP-DDS, LB-BSP, Backup Workers, DDP.
 * :mod:`repro.experiments` — per-figure/table experiment generators.
+* :mod:`repro.scenarios` — declarative scenario specs, registry, and
+  golden-trace fingerprints.
+* :mod:`repro.orchestrator` — parallel sweep execution with a
+  content-addressed result store, exposed as the ``python -m repro`` CLI.
+* :mod:`repro.perf` — engine performance tracking (``BENCH_engine.json``).
+
+The scenario/orchestrator/perf layers build on the experiment stack and are
+imported on demand rather than eagerly here.
 """
 
 from . import allreduce, baselines, checkpoint, core, ml, psarch, sim

@@ -1,0 +1,8 @@
+"""``python -m repro``: the scenario sweep orchestrator CLI."""
+
+import sys
+
+from .orchestrator.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

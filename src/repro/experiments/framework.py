@@ -26,16 +26,18 @@ __all__ = [
 ]
 
 
-# The scenario subsystem builds *on top of* the experiments package (its specs
-# embed StragglerScenario, its runner drives PSExperiment), so these figure
-# generators import it lazily: a module-level import would cycle through
-# ``repro.experiments.__init__`` -> framework -> scenarios -> runner.
+# The scenario/orchestrator subsystems build *on top of* the experiments
+# package (specs embed StragglerScenario, the sweep runner drives
+# PSExperiment), so these figure generators import them lazily: a
+# module-level import would cycle through ``repro.experiments.__init__`` ->
+# framework -> scenarios -> runner.
 
 
 def fig16_shard_agility(scale: ExperimentScale = SMALL, intensity: float = 0.8,
                         seed: int = 0) -> Dict[str, Dict[str, float]]:
     """Fig. 16: shards consumed per worker against the worker's throughput (ASP-DDS)."""
-    from ..scenarios import ScenarioSpec, build_scenario_job
+    from ..orchestrator import simulate_spec
+    from ..scenarios import ScenarioSpec
 
     spec = ScenarioSpec.for_scale(
         scale,
@@ -44,8 +46,8 @@ def fig16_shard_agility(scale: ExperimentScale = SMALL, intensity: float = 0.8,
         stragglers=worker_scenario(intensity),
         seed=seed,
     )
-    job, _ = build_scenario_job(spec)
-    result = job.run()
+    sim = simulate_spec(spec)
+    job, result = sim.job, sim.run
     allocator = job.allocator
     shards = allocator.shards_taken() if isinstance(allocator, StatefulDDS) else {}
     throughput = {
@@ -82,7 +84,8 @@ def fig17_failover_delay(scale: ExperimentScale = SMALL,
 def fig18_overhead(worker_counts: Sequence[int] = (6, 12, 18), scale: ExperimentScale = SMALL,
                    intensity: float = 0.8, seed: int = 0) -> List[Dict[str, float]]:
     """Fig. 18: AntDT framework overhead (DDS + agent sync) as a fraction of JCT."""
-    from ..scenarios import ScenarioSpec, TopologySpec, build_scenario_job
+    from ..orchestrator import simulate_spec
+    from ..scenarios import ScenarioSpec, TopologySpec
 
     rows: List[Dict[str, float]] = []
     for count in worker_counts:
@@ -94,8 +97,8 @@ def fig18_overhead(worker_counts: Sequence[int] = (6, 12, 18), scale: Experiment
             stragglers=worker_scenario(intensity),
             seed=seed,
         )
-        job, _ = build_scenario_job(spec)
-        result = job.run()
+        sim = simulate_spec(spec)
+        job, result = sim.job, sim.run
         dds_overhead = job.allocator.total_overhead_s
         sync_overhead = job.agent_group.total_overhead_s
         total = dds_overhead + sync_overhead
@@ -151,10 +154,12 @@ def integrity_report(num_samples: int = 12_288, epochs: int = 1, seed: int = 7,
     test AUC for comparison against the clean run.
 
     The run itself is scenario-driven: a :class:`~repro.scenarios.ScenarioSpec`
-    on the integrity scale, with the real NumPy backend and per-sample coverage
-    accounting layered on as overrides.
+    on the integrity scale, executed through the orchestrator's simulation
+    front door with the real NumPy backend and per-sample coverage accounting
+    layered on as overrides.
     """
-    from ..scenarios import ScenarioSpec, build_scenario_job
+    from ..orchestrator import simulate_spec
+    from ..scenarios import ScenarioSpec
 
     dataset = make_criteo_like(CriteoConfig(num_samples=num_samples, seed=seed))
     train, test = dataset.split(0.8, rng=np.random.default_rng(seed))
@@ -178,15 +183,15 @@ def integrity_report(num_samples: int = 12_288, epochs: int = 1, seed: int = 7,
         seed=seed,
         epochs=epochs,
     )
-    job, _ = build_scenario_job(
+    sim = simulate_spec(
         spec,
         backend=backend,
         evaluate_after_run=True,
         num_samples=len(train),
         track_coverage=True,
     )
-    allocator = job.allocator
-    result = job.run()
+    allocator = sim.job.allocator
+    result = sim.run
     coverage = allocator.coverage()
     return {
         "completed": result.completed,

@@ -1,0 +1,56 @@
+"""Parallel sweep orchestrator (``repro.orchestrator``).
+
+The execution subsystem behind scenario sweeps:
+
+* :func:`simulate_spec` — the single in-process front door that builds, runs,
+  and fingerprints one :class:`~repro.scenarios.spec.ScenarioSpec`
+  (:mod:`repro.orchestrator.worker`).
+* :class:`SweepRunner` — fans specs out over a process pool with
+  deterministic result ordering and per-spec failure isolation
+  (:mod:`repro.orchestrator.runner`).
+* :class:`ResultStore` — a content-addressed JSONL store keyed by
+  :func:`spec_key`, so re-running an unchanged scenario is a cache hit that
+  skips simulation entirely (:mod:`repro.orchestrator.store`).
+* :func:`expand` / :func:`expand_registry` — grid combinators deriving
+  uniquely named spec variants across methods / seeds / scales / cluster
+  sizes (:mod:`repro.orchestrator.grid`).
+* ``python -m repro`` — the CLI over all of it
+  (:mod:`repro.orchestrator.cli`).
+
+Determinism contract: a parallel sweep's fingerprints are byte-identical to a
+serial run's — the golden-trace suite holds the orchestrator to it.
+"""
+
+from .grid import expand, expand_registry
+from .hashing import STORE_FORMAT_VERSION, spec_key
+from .runner import (
+    AUTO_STORE,
+    JOBS_ENV,
+    SweepError,
+    SweepOutcome,
+    SweepReport,
+    SweepRunner,
+    resolve_jobs,
+)
+from .store import CACHE_DIR_ENV, ResultStore, default_store_path
+from .worker import SimRun, run_payload, simulate_spec
+
+__all__ = [
+    "AUTO_STORE",
+    "CACHE_DIR_ENV",
+    "JOBS_ENV",
+    "ResultStore",
+    "STORE_FORMAT_VERSION",
+    "SimRun",
+    "SweepError",
+    "SweepOutcome",
+    "SweepReport",
+    "SweepRunner",
+    "default_store_path",
+    "expand",
+    "expand_registry",
+    "resolve_jobs",
+    "run_payload",
+    "simulate_spec",
+    "spec_key",
+]

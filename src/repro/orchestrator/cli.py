@@ -1,0 +1,279 @@
+"""The ``python -m repro`` command line — the front door to the orchestrator.
+
+Subcommands
+-----------
+``list``
+    Show the registered scenario catalogue (filterable by tags).
+``show``
+    Print one scenario's full declarative spec, resolved scale, and
+    result-store key.
+``sweep``
+    Run a scenario sweep — registry subsets by name or tag, optionally
+    grid-expanded across methods / seeds / scales / cluster sizes — in
+    parallel, with content-addressed result caching.
+``golden-update``
+    Regenerate (or ``--check``) the golden traces under
+    ``tests/golden/traces/`` through the parallel sweep path.  Parallel and
+    serial execution produce byte-identical traces; the golden suite is the
+    standing proof.
+
+Worker count comes from ``--jobs`` or the ``REPRO_JOBS`` environment
+variable; the result store lives under ``REPRO_CACHE_DIR`` (default:
+``.repro-cache/`` at the repository root) and can be bypassed per-invocation
+with ``--no-cache``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from ..scenarios.matrix import ScenarioMatrix
+from ..scenarios.registry import get_scenario
+from ..scenarios.spec import ScenarioSpec
+from .grid import expand_registry
+from .hashing import spec_key
+from .runner import AUTO_STORE, SweepReport, SweepRunner
+from .store import STORE_FILENAME, ResultStore
+
+__all__ = ["main", "build_parser", "default_trace_dir"]
+
+
+def default_trace_dir() -> Path:
+    """Where the checked-in golden traces live (repo-root relative)."""
+    from ..perf.report import repro_root
+
+    return repro_root() / "tests" / "golden" / "traces"
+
+
+# ---------------------------------------------------------------------------
+# Argument plumbing
+# ---------------------------------------------------------------------------
+
+
+def _add_selection_args(parser: argparse.ArgumentParser,
+                        with_names: bool = True) -> None:
+    if with_names:
+        parser.add_argument(
+            "names", nargs="*", metavar="SCENARIO",
+            help="explicit scenario names (default: the tag-filtered registry)")
+    parser.add_argument("--tags", nargs="+", metavar="TAG",
+                        help="keep only scenarios carrying any of these tags")
+    parser.add_argument("--exclude-tags", nargs="+", metavar="TAG",
+                        help="drop scenarios carrying any of these tags")
+
+
+def _add_runner_args(parser: argparse.ArgumentParser, cache: bool = True) -> None:
+    parser.add_argument("-j", "--jobs", type=int, default=None,
+                        help="parallel worker processes (default: $REPRO_JOBS or 1)")
+    if cache:
+        parser.add_argument("--no-cache", action="store_true",
+                            help="bypass the result store: always simulate")
+        parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                            help="result-store directory (default: $REPRO_CACHE_DIR "
+                                 "or .repro-cache/ at the repo root)")
+
+
+def _select_specs(args: argparse.Namespace) -> List[ScenarioSpec]:
+    if getattr(args, "names", None):
+        return [get_scenario(name) for name in args.names]
+    matrix = ScenarioMatrix(tags=args.tags, exclude_tags=args.exclude_tags)
+    return list(matrix)
+
+
+def _make_runner(args: argparse.Namespace) -> SweepRunner:
+    if args.no_cache:
+        store = None
+    elif args.cache_dir:
+        store = ResultStore(Path(args.cache_dir) / STORE_FILENAME)
+    else:
+        store = AUTO_STORE
+    return SweepRunner(jobs=args.jobs, store=store)
+
+
+def _print_report(report: SweepReport, as_json: bool) -> None:
+    if as_json:
+        # Keep stdout machine-parseable: the JSON document is the only thing
+        # written there; the human stats line goes to stderr.
+        print(json.dumps(report.fingerprints(), indent=2, sort_keys=True))
+        print(report.stats_line(), file=sys.stderr)
+    else:
+        print(report.summary_table())
+        print(report.stats_line())
+    for outcome in report.errors:
+        print(f"ERROR {outcome.name}: {outcome.error}", file=sys.stderr)
+        if outcome.traceback:
+            print(outcome.traceback, file=sys.stderr)
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from ..experiments.reporting import format_table
+
+    matrix = ScenarioMatrix(tags=args.tags, exclude_tags=args.exclude_tags)
+    specs = list(matrix)
+    if args.json:
+        print(json.dumps([spec.to_dict() for spec in specs], indent=2, sort_keys=True))
+        return 0
+    rows = [[spec.name, spec.method, spec.scale, spec.seed, ",".join(spec.tags)]
+            for spec in specs]
+    print(format_table(["scenario", "method", "scale", "seed", "tags"], rows))
+    print(f"{len(specs)} scenario(s)")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    spec = get_scenario(args.name)
+    print(spec.to_json())
+    scale = spec.resolve_scale()
+    print(f"# resolved scale: {scale.num_workers} workers, "
+          f"{scale.num_servers} servers, {scale.iterations} iterations")
+    print(f"# result-store key: {spec_key(spec)}")
+    trace = default_trace_dir() / f"{spec.name}.json"
+    status = "present" if trace.exists() else "absent"
+    print(f"# golden trace: {trace} ({status})")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    specs = _select_specs(args)
+    if not specs:
+        print("no scenarios selected", file=sys.stderr)
+        return 2
+    axes = {}
+    if args.methods:
+        axes["methods"] = args.methods
+    if args.seeds:
+        axes["seeds"] = args.seeds
+    if args.scales:
+        axes["scales"] = args.scales
+    if args.workers:
+        axes["workers"] = args.workers
+    if axes:
+        specs = expand_registry(specs, **axes)
+        print(f"expanded to {len(specs)} derived scenario(s)", file=sys.stderr)
+    runner = _make_runner(args)
+    report = runner.run(specs)
+    _print_report(report, args.json)
+    return 1 if report.errors else 0
+
+
+def _cmd_golden_update(args: argparse.Namespace) -> int:
+    trace_dir = Path(args.trace_dir) if args.trace_dir else default_trace_dir()
+    specs = _select_specs(args)
+    if not specs:
+        # A typo'd tag must not "verify" zero traces and exit green.
+        print("no scenarios selected", file=sys.stderr)
+        return 2
+    # Golden traces pin *current* behaviour, so this command must never be
+    # served from the result store: a spec-keyed cache entry predating an
+    # intended behaviour change would be written back (or --check-verified)
+    # as if it were freshly simulated.
+    args.no_cache, args.cache_dir = True, None
+    runner = _make_runner(args)
+    report = runner.run(specs)
+    if report.errors:
+        _print_report(report, as_json=False)
+        return 1
+    drifted: List[str] = []
+    missing: List[str] = []
+    trace_dir.mkdir(parents=True, exist_ok=True)
+    for outcome in report.outcomes:
+        path = trace_dir / f"{outcome.name}.json"
+        text = outcome.golden_trace()
+        if args.check:
+            if not path.exists():
+                missing.append(outcome.name)
+            elif path.read_text() != text:
+                drifted.append(outcome.name)
+        else:
+            path.write_text(text)
+    print(report.stats_line())
+    if args.check:
+        if missing or drifted:
+            for name in missing:
+                print(f"MISSING {trace_dir / (name + '.json')}", file=sys.stderr)
+            for name in drifted:
+                print(f"DRIFTED {trace_dir / (name + '.json')}", file=sys.stderr)
+            return 1
+        print(f"{len(report.outcomes)} golden trace(s) verified byte-identical")
+        return 0
+    print(f"{len(report.outcomes)} golden trace(s) written to {trace_dir}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser / entry point
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Scenario sweep orchestrator: parallel execution with a "
+                    "content-addressed result store.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = commands.add_parser(
+        "list", help="list registered scenarios")
+    _add_selection_args(list_parser, with_names=False)
+    list_parser.add_argument("--json", action="store_true",
+                             help="emit full spec dicts as JSON")
+    list_parser.set_defaults(func=_cmd_list)
+
+    show_parser = commands.add_parser(
+        "show", help="print one scenario's spec and derived facts")
+    show_parser.add_argument("name", metavar="SCENARIO")
+    show_parser.set_defaults(func=_cmd_show)
+
+    sweep_parser = commands.add_parser(
+        "sweep", help="run a (possibly grid-expanded) scenario sweep")
+    _add_selection_args(sweep_parser)
+    _add_runner_args(sweep_parser)
+    sweep_parser.add_argument("--methods", nargs="+", metavar="METHOD",
+                              help="grid axis: training methods")
+    sweep_parser.add_argument("--seeds", nargs="+", type=int, metavar="SEED",
+                              help="grid axis: seeds")
+    sweep_parser.add_argument("--scales", nargs="+", metavar="SCALE",
+                              help="grid axis: named workload scales")
+    sweep_parser.add_argument("--workers", nargs="+", type=int, metavar="N",
+                              help="grid axis: cluster worker counts")
+    sweep_parser.add_argument("--json", action="store_true",
+                              help="emit fingerprints as JSON instead of a table")
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    golden_parser = commands.add_parser(
+        "golden-update",
+        help="regenerate the golden traces through the parallel sweep path "
+             "(always simulates: the result store is bypassed)")
+    _add_selection_args(golden_parser)
+    _add_runner_args(golden_parser, cache=False)
+    golden_parser.add_argument("--check", action="store_true",
+                               help="verify traces instead of rewriting them")
+    golden_parser.add_argument("--trace-dir", metavar="DIR", default=None,
+                               help="write traces here instead of tests/golden/traces/")
+    golden_parser.set_defaults(func=_cmd_golden_update)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (KeyError, ValueError) as exc:
+        # Bad user input (unknown scenario name, invalid grid axis, ...):
+        # a one-line message, not a traceback.
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2

@@ -1,0 +1,42 @@
+"""Content addressing for scenario results.
+
+A scenario's *key* is the SHA-256 of its canonical JSON form, salted with the
+store format version.  Because :meth:`ScenarioSpec.to_dict` is lossless and
+:func:`~repro.scenarios.fingerprint.canonical_json` is byte-stable (sorted
+keys, fixed indentation), two structurally equal specs always hash to the
+same key and *any* field change — method, seed, a single failure-trace event,
+even the description — produces a different key and therefore a cache miss.
+
+The key deliberately addresses the *input*, not the code that simulates it,
+so the salt also folds in the package version and
+:data:`STORE_FORMAT_VERSION`: bump either whenever simulator behaviour or the
+fingerprint schema changes, and every cached result is invalidated wholesale
+instead of being served as if the new code had produced it.  (Golden-trace
+regeneration never consults the store at all, for the same reason.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING
+
+from .. import __version__
+from ..scenarios.fingerprint import canonical_json
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..scenarios.spec import ScenarioSpec
+
+__all__ = ["STORE_FORMAT_VERSION", "spec_key"]
+
+#: Version salt mixed into every key; bump on fingerprint-schema or
+#: simulator-behaviour changes (the package version is salted in too).
+STORE_FORMAT_VERSION = 1
+
+
+def spec_key(spec: "ScenarioSpec") -> str:
+    """The content-addressed store key of a scenario spec (hex SHA-256)."""
+    hasher = hashlib.sha256()
+    hasher.update(
+        f"repro-result-store-v{STORE_FORMAT_VERSION}:{__version__}:".encode("ascii"))
+    hasher.update(canonical_json(spec.to_dict()).encode("utf-8"))
+    return hasher.hexdigest()

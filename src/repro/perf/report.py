@@ -18,7 +18,7 @@ import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
-__all__ = ["PerfReporter", "bench_output_path"]
+__all__ = ["PerfReporter", "bench_output_path", "repro_root"]
 
 #: Environment variable overriding the directory BENCH_engine.json is written to.
 BENCH_DIR_ENV = "REPRO_BENCH_DIR"
@@ -26,19 +26,28 @@ BENCH_DIR_ENV = "REPRO_BENCH_DIR"
 _BENCH_FILENAME = "BENCH_engine.json"
 
 
+def repro_root() -> Path:
+    """The repository root (the directory containing the ``src`` tree).
+
+    The single root-resolution rule for every on-disk artifact the tooling
+    writes relative to the tree — ``BENCH_engine.json``, the orchestrator's
+    ``.repro-cache/`` result store, ``tests/golden/traces/``.
+    """
+    # src/repro/perf/report.py -> src/repro/perf -> src/repro -> src -> root
+    return Path(__file__).resolve().parent.parent.parent.parent
+
+
 def bench_output_path(filename: str = _BENCH_FILENAME) -> Path:
     """Resolve where the benchmark JSON lives.
 
-    Defaults to the repository root (the directory containing this package's
-    ``src`` tree) so running the benchmarks from any working directory updates
-    one canonical file; ``REPRO_BENCH_DIR`` overrides the directory.
+    Defaults to the repository root so running the benchmarks from any
+    working directory updates one canonical file; ``REPRO_BENCH_DIR``
+    overrides the directory.
     """
     override = os.environ.get(BENCH_DIR_ENV)
     if override:
         return Path(override) / filename
-    # src/repro/perf/report.py -> src/repro/perf -> src/repro -> src -> root
-    root = Path(__file__).resolve().parent.parent.parent.parent
-    return root / filename
+    return repro_root() / filename
 
 
 class PerfReporter:

@@ -112,6 +112,11 @@ class Counter:
         """Add ``amount`` to counter ``name`` (created at zero on first use)."""
         self._counts[name] = self._counts.get(name, 0.0) + amount
 
+    def update(self, amounts: Dict[str, float]) -> None:
+        """Add every (name, amount) pair — merging a sub-report's counters in."""
+        for name, amount in amounts.items():
+            self.add(name, float(amount))
+
     def __getitem__(self, name: str) -> float:
         return self._counts.get(name, 0.0)
 

@@ -244,19 +244,43 @@ def test_matrix_runs_subset_and_reports():
     matrix = ScenarioMatrix([get_scenario("dedicated-baseline"),
                              get_scenario("checkpoint-failover")])
     results = matrix.run()
-    assert [result.name for result in results] == ["checkpoint-failover",
-                                                   "dedicated-baseline"] or \
-        [result.name for result in results] == ["dedicated-baseline",
-                                                "checkpoint-failover"]
-    assert all(result.run.completed for result in results)
+    # Delegation to the orchestrator must preserve submission order.
+    assert [result.name for result in results] == ["dedicated-baseline",
+                                                   "checkpoint-failover"]
+    assert all(result.completed for result in results)
     fingerprints = {result.name: result.fingerprint for result in results}
     assert set(fingerprints) == {"dedicated-baseline", "checkpoint-failover"}
+    assert matrix.last_report is not None
+    assert matrix.last_report.jobs >= 1
 
 
 def test_matrix_rejects_duplicate_names():
     spec = get_scenario("dedicated-baseline")
     with pytest.raises(ValueError):
         ScenarioMatrix([spec, spec])
+
+
+def test_matrix_exclude_tags_complements_tags():
+    grid = ScenarioMatrix(tags=("non-dedicated",), exclude_tags=("slow",))
+    assert grid.specs, "the non-dedicated grid must not be empty"
+    assert all("slow" not in spec.tags for spec in grid)
+    assert all("non-dedicated" in spec.tags for spec in grid)
+    full = ScenarioMatrix(tags=("non-dedicated",))
+    dropped = {spec.name for spec in full} - {spec.name for spec in grid}
+    assert dropped == {"scale-120w"}
+
+
+def test_summary_row_tolerates_sparse_fingerprints():
+    """A fingerprint without failures/restarts keys (older store entries) must
+    degrade to zeros in the summary table instead of raising KeyError."""
+    from repro.scenarios.matrix import ScenarioResult
+
+    sparse = ScenarioResult(
+        spec=get_scenario("dedicated-baseline"), run=None,
+        fingerprint={"jct_s": 12.5, "completed": True})
+    row = sparse.summary_row()
+    assert row == ["dedicated-baseline", "bsp", "12.5", 0, 0, 0]
+    assert sparse.completed and sparse.jct == 12.5 and sparse.restarts_total == 0
 
 
 def test_busy_cluster_gates_kill_restart():
