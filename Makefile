@@ -8,12 +8,16 @@ PYTHONPATH_PREFIX = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 ## Parallel worker processes for orchestrated sweeps (python -m repro).
 JOBS ?= 2
 
-.PHONY: test tier1 fast golden golden-update sweep bench
+.PHONY: test tier1 fast golden golden-update sweep bench ci
 
 ## Full tier-1 suite (what the PR gate runs): unit + integration + property +
 ## golden traces + benchmarks.
 test:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -x -q
+
+## Exactly what .github/workflows/ci.yml runs — one local command to know
+## the gate will pass before pushing.
+ci: test
 
 ## Only the tests/ tree (skips the benchmark harness).
 tier1:

@@ -1,0 +1,52 @@
+"""Elastic sweep benchmark: what membership churn costs the simulator.
+
+Runs the elastic scenario family (scale-out, scale-in, churn storm,
+autoscaler-driven runs) through the orchestrator and records wall times into
+``BENCH_engine.json`` next to the engine and orchestrator numbers, so the
+cost of elastic membership — extra provisioning processes, membership-log
+bookkeeping, autoscaler control rounds — is tracked across PRs.
+
+Assertions pin semantics, not machine-dependent timings: every elastic
+scenario completes, fingerprints deterministically, and a 2-process sweep is
+byte-identical to the serial one.
+"""
+
+from repro.orchestrator import SweepRunner
+from repro.perf import PerfReporter
+from repro.scenarios import all_scenarios
+
+
+def test_elastic_sweep_benchmark():
+    elastic = [spec for spec in all_scenarios(tags=("elastic",))
+               if "slow" not in spec.tags]
+    assert len(elastic) >= 6, "the elastic scenario family shrank"
+
+    serial = SweepRunner(jobs=1, store=None).run(elastic)
+    assert not serial.errors and serial.simulated == len(elastic)
+
+    parallel = SweepRunner(jobs=2, store=None).run(elastic)
+    assert not parallel.errors
+    assert parallel.fingerprints() == serial.fingerprints()
+
+    per_scenario = {outcome.name: outcome.wall_s for outcome in serial.outcomes}
+    churn = sum(fp.get("elastic", {}).get("joined", 0)
+                + fp.get("elastic", {}).get("left", 0)
+                for fp in serial.fingerprints().values())
+
+    reporter = PerfReporter()
+    reporter.add("elastic_sweep_serial", wall_s=serial.wall_s,
+                 scenarios=len(elastic), jobs=1.0,
+                 membership_transitions=float(churn),
+                 simulation_wall_s=serial.simulation_wall_s)
+    reporter.add("elastic_sweep_2proc", wall_s=parallel.wall_s,
+                 scenarios=len(elastic), jobs=2.0,
+                 simulation_wall_s=parallel.simulation_wall_s,
+                 speedup=parallel.speedup)
+    reporter.write()
+
+    print(f"\nElastic sweep benchmark ({len(elastic)} scenarios, "
+          f"{churn} membership transitions):")
+    print(f"  serial : {serial.wall_s:.3f}s ({serial.stats_line()})")
+    print(f"  2-proc : {parallel.wall_s:.3f}s ({parallel.stats_line()})")
+    for name in sorted(per_scenario):
+        print(f"    {name:<32s} {per_scenario[name]*1e3:7.1f}ms")

@@ -11,6 +11,8 @@ for Leader and Straggler Nodes" (ICDE 2024) in pure Python:
   AllReduce training architectures built on the simulator.
 * :mod:`repro.ml` — a NumPy mini deep-learning substrate (models, optimizers,
   synthetic datasets) for the statistical/data-integrity experiments.
+* :mod:`repro.elastic` — elastic scaling: runtime worker add/remove,
+  autoscaler policies, and shard-accounting data-integrity audits.
 * :mod:`repro.baselines` — BSP, ASP, ASP-DDS, LB-BSP, Backup Workers, DDP.
 * :mod:`repro.experiments` — per-figure/table experiment generators.
 * :mod:`repro.scenarios` — declarative scenario specs, registry, and
@@ -23,7 +25,7 @@ The scenario/orchestrator/perf layers build on the experiment stack and are
 imported on demand rather than eagerly here.
 """
 
-from . import allreduce, baselines, checkpoint, core, ml, psarch, sim
+from . import allreduce, baselines, checkpoint, core, elastic, ml, psarch, sim
 
 __version__ = "1.0.0"
 
@@ -32,6 +34,7 @@ __all__ = [
     "baselines",
     "checkpoint",
     "core",
+    "elastic",
     "ml",
     "psarch",
     "sim",

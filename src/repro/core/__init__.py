@@ -17,6 +17,8 @@ from .actions import (
     BackupWorkers,
     KillRestart,
     NoneAction,
+    ScaleIn,
+    ScaleOut,
 )
 from .agent import Agent, AgentGroup
 from .config import AntDTConfig, ConsistencyModel, IntegritySemantics
@@ -53,6 +55,8 @@ __all__ = [
     "Monitor",
     "NoneAction",
     "SampleRange",
+    "ScaleIn",
+    "ScaleOut",
     "Shard",
     "ShardShuffler",
     "ShardState",

@@ -7,7 +7,9 @@ and executed by the Agents.  They fall into two types:
   applies them in the same iteration: ``ADJUST_BS``, ``BACKUP_WORKERS``,
   ``ADJUST_LR``.
 * **Node actions** affect a single node and need no synchronisation:
-  ``KILL_RESTART``.
+  ``KILL_RESTART``, and the elastic-membership pair ``SCALE_OUT`` /
+  ``SCALE_IN`` (the joining/leaving node synchronises through the data
+  allocator and the barrier, not through an agent broadcast).
 
 ``NONE`` is the dummy action a solution returns when no straggler is present.
 """
@@ -16,7 +18,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "ActionKind",
@@ -26,6 +28,8 @@ __all__ = [
     "BackupWorkers",
     "KillRestart",
     "AdjustLearningRate",
+    "ScaleOut",
+    "ScaleIn",
     "NoneAction",
 ]
 
@@ -45,6 +49,8 @@ class ActionType(enum.Enum):
     BACKUP_WORKERS = "backup_workers"
     KILL_RESTART = "kill_restart"
     ADJUST_LR = "adjust_lr"
+    SCALE_OUT = "scale_out"
+    SCALE_IN = "scale_in"
     NONE = "none"
 
 
@@ -176,6 +182,64 @@ class AdjustLearningRate(Action):
     def describe(self) -> str:
         factors = ", ".join(f"{worker}={factor:g}" for worker, factor in sorted(self.factors.items()))
         return f"ADJUST_LR({factors})"
+
+
+@dataclass(frozen=True)
+class ScaleOut(Action):
+    """Elastic-membership action: request ``num_workers`` additional workers.
+
+    The requested pods ride the cluster scheduler's pending-time queue, so on
+    a busy cluster they arrive late (or after the job already finished).
+    """
+
+    num_workers: int = 1
+    reason: str = "scale out"
+
+    def __post_init__(self) -> None:
+        if self.num_workers <= 0:
+            raise ValueError("SCALE_OUT requires a positive worker count")
+
+    @property
+    def action_type(self) -> ActionType:
+        return ActionType.SCALE_OUT
+
+    @property
+    def kind(self) -> ActionKind:
+        return ActionKind.NODE
+
+    def describe(self) -> str:
+        return f"SCALE_OUT(+{self.num_workers})"
+
+
+@dataclass(frozen=True)
+class ScaleIn(Action):
+    """Elastic-membership action: gracefully retire the named workers.
+
+    A retiring worker drains: its in-flight samples are requeued with the
+    data allocator (nothing is lost or double-trained), it leaves the BSP
+    barrier, and its node departs the cluster membership for good.
+    """
+
+    node_names: Tuple[str, ...]
+    reason: str = "scale in"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "node_names", tuple(self.node_names))
+        if not self.node_names:
+            raise ValueError("SCALE_IN requires at least one node name")
+        if len(set(self.node_names)) != len(self.node_names):
+            raise ValueError("SCALE_IN node names must be unique")
+
+    @property
+    def action_type(self) -> ActionType:
+        return ActionType.SCALE_IN
+
+    @property
+    def kind(self) -> ActionKind:
+        return ActionKind.NODE
+
+    def describe(self) -> str:
+        return f"SCALE_IN({', '.join(self.node_names)})"
 
 
 @dataclass(frozen=True)

@@ -22,6 +22,8 @@ from .actions import (
     BackupWorkers,
     KillRestart,
     NoneAction,
+    ScaleIn,
+    ScaleOut,
 )
 from .agent import AgentGroup
 from .config import AntDTConfig, ConsistencyModel
@@ -94,6 +96,18 @@ class ActionExecutor(Protocol):
 
     def last_restart_times(self) -> Dict[str, float]:
         """Simulation time of the most recent relaunch, per node."""
+        ...
+
+    def request_scale_out(self, count: int, reason: str) -> List[str]:
+        """Request additional workers; returns the names actually requested.
+
+        Executors without elastic membership (e.g. a static-partition job)
+        may refuse by returning an empty list.
+        """
+        ...
+
+    def request_scale_in(self, node_names: "List[str]", reason: str) -> List[str]:
+        """Gracefully retire workers; returns the names actually retiring."""
         ...
 
 
@@ -170,6 +184,12 @@ class Controller:
             return
         if isinstance(action, AdjustBatchSize):
             self.agent_group.broadcast(action, time=self.env.now)
+            return
+        if isinstance(action, ScaleOut):
+            self.executor.request_scale_out(action.num_workers, action.reason)
+            return
+        if isinstance(action, ScaleIn):
+            self.executor.request_scale_in(list(action.node_names), action.reason)
             return
         raise TypeError(f"unknown action type: {action!r}")
 

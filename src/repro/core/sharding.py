@@ -225,6 +225,44 @@ class StatefulDDS(DataAllocator):
             counts[shard.state.value] += 1
         return counts
 
+    def shard_accounting(self) -> Dict[str, int]:
+        """Sample-conservation ledger over the DDS's current state.
+
+        Partitions every sample of the workload into exactly one bucket —
+        ``confirmed`` (gradients accepted by the servers), ``in_flight``
+        (dispatched to a worker, not yet confirmed), ``undispatched`` (queued
+        in TODO shards or the unread remainder of DOING shards) and
+        ``unpopulated`` (epochs not yet materialised) — and reports whether
+        the buckets sum back to the workload (``conserved``).  The invariant
+        holds at *any* instant, across failovers and elastic membership
+        churn: a requeue moves samples between buckets, it never creates or
+        destroys them.  This is the proof obligation behind the elastic
+        subsystem's "no sample lost or double-trained" guarantee.
+        """
+        confirmed = sum(self._consumed.values())
+        in_flight = 0
+        undispatched = 0
+        for shard in self._shards.values():
+            if shard.state is ShardState.DOING:
+                dispatched = self._dispatched[shard.shard_id]
+                in_flight += dispatched - shard.completed
+                undispatched += shard.length - dispatched
+            elif shard.state is ShardState.TODO:
+                undispatched += shard.length
+        populated_epochs = self._current_epoch + 1
+        unpopulated = self.num_samples * (self.epochs - populated_epochs)
+        total = self.total_samples
+        balance = total - (confirmed + in_flight + undispatched + unpopulated)
+        return {
+            "total_samples": total,
+            "confirmed": confirmed,
+            "in_flight": in_flight,
+            "undispatched": undispatched,
+            "unpopulated": unpopulated,
+            "balance": balance,
+            "conserved": balance == 0,
+        }
+
     def consumed_counts(self) -> Dict[str, int]:
         return dict(self._consumed)
 

@@ -1,0 +1,76 @@
+"""Elastic scaling subsystem (``repro.elastic``).
+
+First-class elastic membership for simulated training jobs: workers join and
+leave *at simulation time*, instead of the fixed-fleet world where the only
+reactions are AdjustBatchSize / BackupWorkers / KillRestart.
+
+* :mod:`~repro.elastic.membership` — membership log and the graceful
+  scale-in interrupt signal.
+* :mod:`~repro.elastic.spec` — the declarative, serializable
+  :class:`ElasticSpec` carried by :class:`~repro.scenarios.spec.ScenarioSpec`.
+* :mod:`~repro.elastic.policies` — autoscaler policies (utilization /
+  straggler-pressure / scheduled-capacity) over an :class:`ElasticContext`.
+* :mod:`~repro.elastic.autoscaler` — the :class:`Autoscaler` control loop
+  that turns policy decisions into ``SCALE_OUT`` / ``SCALE_IN`` actions.
+* :mod:`~repro.elastic.resharding` — shard-accounting audits proving no
+  sample is lost or double-trained across membership churn.
+* :mod:`~repro.elastic.allreduce` — phase-based elastic membership for the
+  closed-form AllReduce job.
+
+Scale-out rides the cluster scheduler's pending-time queue (a busy cluster
+delays or effectively denies new capacity); scale-in drains gracefully
+through the Stateful DDS so data integrity is preserved.
+"""
+
+from .autoscaler import Autoscaler, AutoscalerConfig, ElasticExecutor
+from .allreduce import (
+    ElasticAllReduceJob,
+    ElasticAllReduceResult,
+    ElasticPhase,
+    MembershipChange,
+)
+from .membership import SCALE_IN, MembershipEvent, MembershipLog, ScaleInSignal
+from .policies import (
+    POLICIES,
+    AutoscalerPolicy,
+    ElasticContext,
+    ScheduledCapacityPolicy,
+    StragglerPressurePolicy,
+    UtilizationThresholdPolicy,
+    make_policy,
+)
+from .resharding import (
+    ShardConservationError,
+    ShardLedger,
+    audit_allocator,
+    verify_exactly_once,
+)
+from .spec import NO_ELASTIC, ElasticSpec, ScaleEvent
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
+    "AutoscalerPolicy",
+    "ElasticAllReduceJob",
+    "ElasticAllReduceResult",
+    "ElasticContext",
+    "ElasticExecutor",
+    "ElasticPhase",
+    "ElasticSpec",
+    "MembershipChange",
+    "MembershipEvent",
+    "MembershipLog",
+    "NO_ELASTIC",
+    "POLICIES",
+    "SCALE_IN",
+    "ScaleEvent",
+    "ScaleInSignal",
+    "ScheduledCapacityPolicy",
+    "ShardConservationError",
+    "ShardLedger",
+    "StragglerPressurePolicy",
+    "UtilizationThresholdPolicy",
+    "audit_allocator",
+    "make_policy",
+    "verify_exactly_once",
+]

@@ -1,0 +1,177 @@
+"""The autoscaler control loop.
+
+The :class:`Autoscaler` is a second, membership-focused control loop next to
+the AntDT :class:`~repro.core.controller.Controller`: every ``interval_s``
+simulated seconds it snapshots the Monitor's sliding-window statistics and
+the job's membership into an
+:class:`~repro.elastic.policies.ElasticContext`, asks its policy for
+:class:`~repro.core.actions.ScaleOut` / :class:`~repro.core.actions.ScaleIn`
+actions, and executes them through the job's elastic executor surface.  A
+cooldown after every *granted* action damps membership flapping.
+
+The executor protocol (:class:`ElasticExecutor`) is the
+:class:`~repro.core.controller.ActionExecutor` elastic subset plus the
+progress accessors a policy needs; :class:`~repro.psarch.job.PSTrainingJob`
+implements it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Protocol
+
+from ..core.actions import Action, ScaleIn, ScaleOut
+from ..core.monitor import Monitor
+from ..sim.engine import Environment
+from .policies import AutoscalerPolicy, ElasticContext
+
+__all__ = ["AutoscalerConfig", "ElasticExecutor", "Autoscaler"]
+
+
+@dataclass
+class AutoscalerConfig:
+    """Cadence, damping, membership bounds and detection windows."""
+
+    interval_s: float = 20.0
+    cooldown_s: float = 0.0
+    min_workers: int = 1
+    max_workers: Optional[int] = None
+    short_window_s: float = 20.0
+    long_window_s: float = 45.0
+    slowness_ratio: float = 1.4
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if self.cooldown_s < 0:
+            raise ValueError("cooldown_s must be non-negative")
+        if self.min_workers < 1:
+            raise ValueError("min_workers must be at least 1")
+        if self.max_workers is not None and self.max_workers < self.min_workers:
+            raise ValueError("max_workers must be >= min_workers")
+
+
+class ElasticExecutor(Protocol):
+    """What the autoscaler needs from a training job."""
+
+    @property
+    def finished(self) -> bool:
+        """True once the training job has completed."""
+        ...
+
+    def active_worker_names(self) -> List[str]:
+        """Active workers, ordered by join time."""
+        ...
+
+    def pending_worker_count(self) -> int:
+        """Workers requested from the scheduler but not yet placed."""
+        ...
+
+    def remaining_samples(self) -> int:
+        """Samples of the workload not yet confirmed."""
+        ...
+
+    def request_scale_out(self, count: int, reason: str) -> List[str]:
+        """Request additional workers; returns the names actually requested."""
+        ...
+
+    def request_scale_in(self, node_names: List[str], reason: str) -> List[str]:
+        """Gracefully retire workers; returns the names actually retiring."""
+        ...
+
+
+class Autoscaler:
+    """Periodic policy-driven elastic membership control."""
+
+    def __init__(
+        self,
+        env: Environment,
+        monitor: Monitor,
+        policy: AutoscalerPolicy,
+        executor: ElasticExecutor,
+        config: Optional[AutoscalerConfig] = None,
+        busy_provider: Optional[Callable[[], bool]] = None,
+        pending_time_provider: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.env = env
+        self.monitor = monitor
+        self.policy = policy
+        self.executor = executor
+        self.config = config if config is not None else AutoscalerConfig()
+        self._busy_provider = busy_provider
+        self._pending_time_provider = pending_time_provider
+        #: Every action the policy emitted, whether or not it was granted.
+        self.action_log: List[Action] = []
+        #: Names granted per action, aligned with :attr:`action_log`.
+        self.granted_log: List[List[str]] = []
+        self.decision_times: List[float] = []
+        self._last_scale_time: Optional[float] = None
+        self._stopped = False
+
+    # -- context ------------------------------------------------------------------
+    def build_context(self) -> ElasticContext:
+        """Snapshot membership, progress and Monitor windows for one decision."""
+        now = self.env.now
+        cfg = self.config
+        busy = bool(self._busy_provider()) if self._busy_provider is not None else False
+        pending = float(self._pending_time_provider()) \
+            if self._pending_time_provider is not None else 0.0
+        return ElasticContext(
+            now=now,
+            active_workers=self.executor.active_worker_names(),
+            pending_workers=self.executor.pending_worker_count(),
+            min_workers=cfg.min_workers,
+            max_workers=cfg.max_workers,
+            cluster_busy=busy,
+            pending_time_s=pending,
+            remaining_samples=self.executor.remaining_samples(),
+            worker_short_bpts=self.monitor.worker_bpt_means(cfg.short_window_s, now),
+            worker_long_bpts=self.monitor.worker_bpt_means(cfg.long_window_s, now),
+            worker_throughputs=self.monitor.worker_throughputs(cfg.short_window_s, now),
+            slowness_ratio=cfg.slowness_ratio,
+        )
+
+    # -- dispatch -----------------------------------------------------------------
+    def _in_cooldown(self) -> bool:
+        if self._last_scale_time is None or self.config.cooldown_s <= 0:
+            return False
+        return self.env.now - self._last_scale_time < self.config.cooldown_s
+
+    def dispatch(self, action: Action) -> List[str]:
+        """Execute one scaling action; returns the node names it moved."""
+        self.action_log.append(action)
+        if isinstance(action, ScaleOut):
+            granted = self.executor.request_scale_out(action.num_workers, action.reason)
+        elif isinstance(action, ScaleIn):
+            granted = self.executor.request_scale_in(list(action.node_names),
+                                                     action.reason)
+        else:
+            raise TypeError(f"autoscalers only emit scaling actions, got {action!r}")
+        self.granted_log.append(list(granted))
+        if granted:
+            self._last_scale_time = self.env.now
+        return granted
+
+    def control_step(self) -> List[Action]:
+        """Run one decision round immediately (used by tests and :meth:`run`)."""
+        self.decision_times.append(self.env.now)
+        if self._in_cooldown():
+            return []
+        context = self.build_context()
+        actions = self.policy.decide(context)
+        for action in actions:
+            self.dispatch(action)
+        return actions
+
+    # -- simulated control loop ------------------------------------------------------
+    def run(self):
+        """Simulation process: decide every ``interval_s`` seconds."""
+        while not self._stopped:
+            yield self.env.timeout(self.config.interval_s)
+            if self.executor.finished or self._stopped:
+                break
+            self.control_step()
+
+    def stop(self) -> None:
+        """Stop the control loop after the current interval."""
+        self._stopped = True

@@ -1,0 +1,259 @@
+"""Autoscaler policies: when to grow and when to shrink the worker fleet.
+
+Each policy is a pure decision function over an :class:`ElasticContext`
+snapshot — it owns no simulation state beyond its own configuration, so the
+same policy object produces the same actions for the same context (the
+determinism the golden traces rely on).  Three families cover the paper's
+non-dedicated-cluster reality:
+
+* :class:`UtilizationThresholdPolicy` — progress-driven: scale out while the
+  estimated time-to-finish exceeds a horizon (and the cluster is not busy),
+  scale the newest workers back in when the remaining work no longer
+  justifies the fleet.
+* :class:`StragglerPressurePolicy` — scale *in* a persistent straggler
+  instead of dragging it (optionally requesting a healthy replacement),
+  the elastic alternative to KILL_RESTART.
+* :class:`ScheduledCapacityPolicy` — a deterministic capacity plan (peak/
+  off-peak steps), the "the scheduler frees capacity at 2am" pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.actions import Action, ScaleIn, ScaleOut
+from ..core.detection import detect_stragglers
+
+__all__ = [
+    "ElasticContext",
+    "AutoscalerPolicy",
+    "UtilizationThresholdPolicy",
+    "StragglerPressurePolicy",
+    "ScheduledCapacityPolicy",
+    "POLICIES",
+    "make_policy",
+]
+
+
+@dataclass
+class ElasticContext:
+    """Everything a policy may consult for one scaling decision.
+
+    ``active_workers`` is ordered by join time (original workers first,
+    elastically added ones after), which is what makes "retire the newest"
+    deterministic.  ``pending_workers`` counts requested-but-not-yet-placed
+    pods, so a policy does not re-request capacity that is already in the
+    scheduling queue.
+    """
+
+    now: float
+    active_workers: List[str]
+    pending_workers: int
+    min_workers: int
+    max_workers: Optional[int]
+    cluster_busy: bool
+    pending_time_s: float
+    remaining_samples: int
+    worker_short_bpts: Dict[str, float] = field(default_factory=dict)
+    worker_long_bpts: Dict[str, float] = field(default_factory=dict)
+    worker_throughputs: Dict[str, float] = field(default_factory=dict)
+    slowness_ratio: float = 1.4
+
+    @property
+    def committed_workers(self) -> int:
+        """Active plus pending membership (what a scale-out adds on top of)."""
+        return len(self.active_workers) + self.pending_workers
+
+    @property
+    def headroom(self) -> int:
+        """How many more workers may be requested before hitting the cap."""
+        if self.max_workers is None:
+            return 2**31
+        return max(0, self.max_workers - self.committed_workers)
+
+    @property
+    def shrinkable(self) -> int:
+        """How many active workers may retire before hitting the floor."""
+        return max(0, len(self.active_workers) - self.min_workers)
+
+    def newest_active(self, count: int) -> List[str]:
+        """The ``count`` most recently joined active workers (LIFO order)."""
+        if count <= 0:
+            return []
+        return list(reversed(self.active_workers[-count:]))
+
+    def estimated_remaining_s(self) -> Optional[float]:
+        """Remaining work over aggregate fleet throughput (None when unknown)."""
+        total = sum(self.worker_throughputs.get(worker, 0.0)
+                    for worker in self.active_workers)
+        if total <= 0:
+            return None
+        return self.remaining_samples / total
+
+
+class AutoscalerPolicy:
+    """Base class: a named, deterministic scaling decision function."""
+
+    name = "base"
+
+    def decide(self, context: ElasticContext) -> List[Action]:
+        """Return the scaling actions for one control round (may be empty)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line description for logs and reports."""
+        return self.name
+
+
+class UtilizationThresholdPolicy(AutoscalerPolicy):
+    """Scale with the estimated time-to-finish of the remaining workload.
+
+    While the fleet's estimated remaining time exceeds ``scale_out_horizon_s``
+    — i.e. the committed capacity is insufficient for the backlog — request
+    one worker per round, but only when the cluster scheduler is idle enough
+    that the pod would actually arrive in time to help.  Once the remaining
+    time falls below ``scale_in_horizon_s`` the marginal worker no longer
+    pays for itself; retire the newest one per round.
+    """
+
+    name = "utilization"
+
+    def __init__(self, scale_out_horizon_s: float = 120.0,
+                 scale_in_horizon_s: float = 20.0,
+                 step: int = 1) -> None:
+        if scale_out_horizon_s <= scale_in_horizon_s:
+            raise ValueError("scale_out_horizon_s must exceed scale_in_horizon_s")
+        if step <= 0:
+            raise ValueError("step must be positive")
+        self.scale_out_horizon_s = float(scale_out_horizon_s)
+        self.scale_in_horizon_s = float(scale_in_horizon_s)
+        self.step = int(step)
+
+    def decide(self, context: ElasticContext) -> List[Action]:
+        remaining = context.estimated_remaining_s()
+        if remaining is None:
+            return []
+        if (remaining > self.scale_out_horizon_s and not context.cluster_busy
+                and context.headroom > 0):
+            return [ScaleOut(num_workers=min(self.step, context.headroom),
+                             reason=f"eta {remaining:.0f}s over horizon")]
+        if remaining < self.scale_in_horizon_s and context.shrinkable > 0:
+            count = min(self.step, context.shrinkable)
+            return [ScaleIn(node_names=tuple(context.newest_active(count)),
+                            reason=f"eta {remaining:.0f}s under horizon")]
+        return []
+
+
+class StragglerPressurePolicy(AutoscalerPolicy):
+    """Retire a persistent straggler instead of dragging it.
+
+    Detection reuses the AntDT long-window criterion (mean BPT ≥ λ · fleet
+    mean).  Where KILL_RESTART pays a relaunch to *keep* the node, this
+    policy removes it from the membership entirely — the DDS requeues its
+    in-flight shard and the healthy fleet absorbs the data.  With
+    ``replace=True`` a healthy replacement pod is requested at the same time
+    (when the scheduler is not busy), trading membership size for quality.
+    """
+
+    name = "straggler-pressure"
+
+    def __init__(self, replace: bool = False,
+                 slowness_ratio: Optional[float] = None) -> None:
+        self.replace = bool(replace)
+        self.slowness_ratio = slowness_ratio
+
+    def decide(self, context: ElasticContext) -> List[Action]:
+        long = {worker: bpt for worker, bpt in context.worker_long_bpts.items()
+                if worker in context.active_workers}
+        if len(long) < 2 or context.shrinkable <= 0:
+            return []
+        ratio = self.slowness_ratio if self.slowness_ratio is not None \
+            else context.slowness_ratio
+        report = detect_stragglers(long, ratio)
+        if not report.stragglers:
+            return []
+        # Retire the single worst offender per round; ranking by (BPT, name)
+        # keeps ties deterministic.
+        worst = max(report.stragglers, key=lambda worker: (long[worker], worker))
+        actions: List[Action] = [ScaleIn(node_names=(worst,),
+                                         reason="persistent straggler pressure")]
+        if self.replace and not context.cluster_busy and context.headroom > 0:
+            actions.append(ScaleOut(num_workers=1, reason="straggler replacement"))
+        return actions
+
+
+class ScheduledCapacityPolicy(AutoscalerPolicy):
+    """Follow a deterministic capacity plan of ``[time_s, target]`` steps.
+
+    At every decision round the target is the last step whose time has been
+    reached; the policy emits whatever scale-out/scale-in delta moves the
+    *committed* membership (active + pending) to the target, clamped to the
+    context's min/max bounds.  Steps must be time-sorted.
+    """
+
+    name = "scheduled-capacity"
+
+    def __init__(self, schedule: Sequence[Sequence[float]]) -> None:
+        steps: List[Tuple[float, int]] = []
+        for step in schedule:
+            time_s, target = step
+            steps.append((float(time_s), int(target)))
+        if not steps:
+            raise ValueError("a capacity schedule requires at least one step")
+        if any(time_s < 0 for time_s, _ in steps):
+            raise ValueError("schedule times must be non-negative")
+        if any(target < 1 for _, target in steps):
+            raise ValueError("schedule targets must be at least 1")
+        if steps != sorted(steps, key=lambda step: step[0]):
+            raise ValueError("schedule steps must be sorted by time")
+        self.schedule: Tuple[Tuple[float, int], ...] = tuple(steps)
+
+    def target_at(self, now: float) -> Optional[int]:
+        """The capacity target in effect at ``now`` (None before step one)."""
+        target: Optional[int] = None
+        for time_s, step_target in self.schedule:
+            if time_s <= now:
+                target = step_target
+        return target
+
+    def decide(self, context: ElasticContext) -> List[Action]:
+        target = self.target_at(context.now)
+        if target is None:
+            return []
+        if context.max_workers is not None:
+            target = min(target, context.max_workers)
+        target = max(target, context.min_workers)
+        delta = target - context.committed_workers
+        if delta > 0:
+            count = min(delta, context.headroom)
+            if count <= 0:
+                return []
+            return [ScaleOut(num_workers=count,
+                             reason=f"capacity plan target {target}")]
+        if delta < 0:
+            count = min(-delta, context.shrinkable)
+            if count <= 0:
+                return []
+            return [ScaleIn(node_names=tuple(context.newest_active(count)),
+                            reason=f"capacity plan target {target}")]
+        return []
+
+
+#: Registry of policy factories, keyed by the name used in ``ElasticSpec``.
+POLICIES: Dict[str, Callable[..., AutoscalerPolicy]] = {
+    UtilizationThresholdPolicy.name: UtilizationThresholdPolicy,
+    StragglerPressurePolicy.name: StragglerPressurePolicy,
+    ScheduledCapacityPolicy.name: ScheduledCapacityPolicy,
+}
+
+
+def make_policy(name: str, **params: object) -> AutoscalerPolicy:
+    """Instantiate a registered policy by name with JSON-safe parameters."""
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown autoscaler policy {name!r}; available: {sorted(POLICIES)}"
+        ) from None
+    return factory(**params)

@@ -1,0 +1,119 @@
+"""Sample-conservation auditing across elastic membership changes.
+
+The elastic subsystem's correctness claim is the paper's data-integrity
+guarantee extended to membership churn: *no sample is lost and none is
+double-trained when workers join or leave mid-epoch*.  The Stateful DDS
+already re-shards mechanically — a retiring worker's in-flight shard tail is
+released back to the queue, a joining worker simply starts pulling shards —
+so the proof obligation is an accounting one, and this module states it:
+
+* :func:`audit_allocator` snapshots the DDS's
+  :meth:`~repro.core.sharding.StatefulDDS.shard_accounting` ledger and raises
+  :class:`ShardConservationError` the moment the buckets stop summing to the
+  workload.
+* :func:`verify_exactly_once` checks the per-sample coverage counters after a
+  completed run: every sample confirmed at least once, and *exactly* once
+  when nothing (backup-worker drops, failovers) legitimately re-queued work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.sharding import DataAllocator, StatefulDDS
+
+__all__ = [
+    "ShardConservationError",
+    "ShardLedger",
+    "audit_allocator",
+    "verify_exactly_once",
+]
+
+
+class ShardConservationError(AssertionError):
+    """The DDS's sample buckets no longer sum to the workload."""
+
+
+@dataclass(frozen=True)
+class ShardLedger:
+    """A validated snapshot of the DDS's sample buckets."""
+
+    total_samples: int
+    confirmed: int
+    in_flight: int
+    undispatched: int
+    unpopulated: int
+
+    @property
+    def outstanding(self) -> int:
+        """Samples not yet confirmed (everything still owed to the job)."""
+        return self.total_samples - self.confirmed
+
+    def to_dict(self) -> Dict[str, int]:
+        """Plain-dict form for reports."""
+        return {
+            "total_samples": self.total_samples,
+            "confirmed": self.confirmed,
+            "in_flight": self.in_flight,
+            "undispatched": self.undispatched,
+            "unpopulated": self.unpopulated,
+        }
+
+
+def audit_allocator(allocator: DataAllocator, where: str = "") -> Optional[ShardLedger]:
+    """Validate the allocator's conservation invariant; returns the ledger.
+
+    Returns ``None`` for allocators without shard accounting (the static
+    partition keeps per-worker cursors instead of a global queue).  Raises
+    :class:`ShardConservationError` when the buckets do not sum back to the
+    workload — the error message carries the full ledger plus ``where`` so a
+    failing elastic transition is directly attributable.
+    """
+    if not isinstance(allocator, StatefulDDS):
+        return None
+    accounting = allocator.shard_accounting()
+    if not accounting["conserved"]:
+        raise ShardConservationError(
+            f"shard accounting out of balance ({where or 'unspecified point'}): "
+            f"{accounting}")
+    return ShardLedger(
+        total_samples=accounting["total_samples"],
+        confirmed=accounting["confirmed"],
+        in_flight=accounting["in_flight"],
+        undispatched=accounting["undispatched"],
+        unpopulated=accounting["unpopulated"],
+    )
+
+
+def verify_exactly_once(allocator: StatefulDDS,
+                        allow_requeues: bool = False) -> Dict[str, int]:
+    """Check per-sample coverage after a completed run.
+
+    Every sample must be confirmed at least once (nothing lost).  With
+    ``allow_requeues=False`` — a clean elastic run: graceful scale-in drains
+    and requeues *unconfirmed* work only, so nothing is ever trained twice —
+    every sample must be confirmed *exactly* once.  Returns summary counts.
+    Requires the allocator to have been built with ``track_coverage=True``.
+    """
+    coverage = allocator.coverage()
+    if coverage is None:
+        raise ValueError("coverage tracking is disabled on this allocator "
+                         "(build it with track_coverage=True)")
+    missed = int(np.count_nonzero(coverage == 0))
+    duplicated = int(np.count_nonzero(coverage > 1))
+    if missed:
+        raise ShardConservationError(
+            f"{missed} sample(s) were never confirmed (data loss)")
+    if duplicated and not allow_requeues:
+        raise ShardConservationError(
+            f"{duplicated} sample(s) were confirmed more than once "
+            "(double training) in a run that should be exactly-once")
+    return {
+        "samples": int(coverage.size),
+        "missed": missed,
+        "duplicated": duplicated,
+        "max_coverage": int(coverage.max()) if coverage.size else 0,
+    }

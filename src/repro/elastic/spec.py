@@ -1,0 +1,178 @@
+"""Declarative elastic-scaling specification for scenarios.
+
+An :class:`ElasticSpec` describes *when and how a job's worker membership
+changes*: a deterministic schedule of :class:`ScaleEvent` steps, an autoscaler
+policy (by registry name, with JSON-safe parameters), or both.  Like every
+other scenario ingredient it round-trips losslessly through ``to_dict`` /
+``from_dict``, so elastic scenarios can be named, content-addressed by the
+result store, and pinned to golden traces.
+
+The module is deliberately dependency-light (no simulation imports): it is
+pulled in by :mod:`repro.scenarios.spec` for serialization, while the runtime
+wiring lives in :mod:`repro.elastic.autoscaler` and
+:mod:`repro.scenarios.matrix`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+__all__ = ["ScaleEvent", "ElasticSpec", "NO_ELASTIC"]
+
+#: Valid directions of a scheduled scale event.
+_DIRECTIONS = ("out", "in")
+
+
+def _json_normalize(value: object) -> object:
+    """Coerce nested sequences to lists, the shape JSON round-trips to.
+
+    Policy parameters may carry nested structure (e.g. a capacity schedule of
+    ``[time, target]`` steps); normalising at construction makes
+    ``from_dict(to_dict(spec)) == spec`` hold regardless of whether the caller
+    wrote tuples or lists.
+    """
+    if isinstance(value, (list, tuple)):
+        return [_json_normalize(item) for item in value]
+    return value
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One scheduled membership change.
+
+    ``action`` is ``"out"`` (request ``count`` extra workers from the cluster
+    scheduler) or ``"in"`` (gracefully retire workers).  A scale-in may name
+    explicit ``nodes``; without names the job retires its most recently
+    joined active workers (LIFO), which is deterministic by construction.
+    """
+
+    time_s: float
+    action: str
+    count: int = 1
+    nodes: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError("scale events must fire at non-negative times")
+        if self.action not in _DIRECTIONS:
+            raise ValueError(f"scale action must be one of {_DIRECTIONS}, "
+                             f"got {self.action!r}")
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        if self.nodes:
+            if self.action != "in":
+                raise ValueError("explicit node names only apply to scale-in events")
+            if len(set(self.nodes)) != len(self.nodes):
+                raise ValueError("scale-in node names must be unique")
+            object.__setattr__(self, "count", len(self.nodes))
+        if self.count <= 0:
+            raise ValueError("scale events must move at least one worker")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-safe); inverse of :meth:`from_dict`."""
+        return {"time_s": self.time_s, "action": self.action,
+                "count": self.count, "nodes": list(self.nodes)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ScaleEvent":
+        """Rebuild an event from :meth:`to_dict` output (lossless)."""
+        return cls(
+            time_s=data["time_s"],
+            action=data["action"],
+            count=data.get("count", 1),
+            nodes=tuple(data.get("nodes", ())),
+        )
+
+
+@dataclass(frozen=True)
+class ElasticSpec:
+    """Elastic-scaling knobs of a scenario.
+
+    Attributes
+    ----------
+    events:
+        Deterministic scale-out/scale-in schedule replayed against the job.
+    policy:
+        Autoscaler policy name from :data:`repro.elastic.policies.POLICIES`
+        (``None`` disables the autoscaler).
+    policy_params:
+        JSON-safe ``(name, value)`` pairs forwarded to the policy factory.
+    interval_s:
+        Autoscaler decision cadence.
+    cooldown_s:
+        Minimum quiet period after a *granted* scaling action before the
+        autoscaler acts again (flap damping).
+    min_workers / max_workers:
+        Hard membership bounds the job enforces regardless of who asks
+        (``max_workers=None`` leaves scale-out unbounded).
+    """
+
+    events: Tuple[ScaleEvent, ...] = ()
+    policy: Optional[str] = None
+    policy_params: Tuple[Tuple[str, object], ...] = ()
+    interval_s: float = 20.0
+    cooldown_s: float = 0.0
+    min_workers: int = 1
+    max_workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        object.__setattr__(
+            self, "policy_params",
+            tuple((str(key), _json_normalize(value))
+                  for key, value in self.policy_params))
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if self.cooldown_s < 0:
+            raise ValueError("cooldown_s must be non-negative")
+        if self.min_workers < 1:
+            raise ValueError("min_workers must be at least 1")
+        if self.max_workers is not None and self.max_workers < self.min_workers:
+            raise ValueError("max_workers must be >= min_workers")
+        if self.policy is not None:
+            # Validate the name eagerly so a typo'd spec fails at construction
+            # rather than mid-sweep.  Imported lazily: the policies module
+            # pulls in the action/detection machinery this data module must
+            # not depend on at import time.
+            from .policies import POLICIES
+
+            if self.policy not in POLICIES:
+                raise ValueError(
+                    f"unknown autoscaler policy {self.policy!r}; "
+                    f"available: {sorted(POLICIES)}")
+        if self.policy is None and self.policy_params:
+            raise ValueError("policy_params given without a policy")
+
+    def __bool__(self) -> bool:
+        return bool(self.events) or self.policy is not None
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-safe); inverse of :meth:`from_dict`."""
+        return {
+            "events": [event.to_dict() for event in self.events],
+            "policy": self.policy,
+            "policy_params": [[key, value] for key, value in self.policy_params],
+            "interval_s": self.interval_s,
+            "cooldown_s": self.cooldown_s,
+            "min_workers": self.min_workers,
+            "max_workers": self.max_workers,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ElasticSpec":
+        """Rebuild a spec from :meth:`to_dict` output (lossless)."""
+        return cls(
+            events=tuple(ScaleEvent.from_dict(event)
+                         for event in data.get("events", ())),
+            policy=data.get("policy"),
+            policy_params=tuple(
+                (key, value) for key, value in data.get("policy_params", ())),
+            interval_s=data.get("interval_s", 20.0),
+            cooldown_s=data.get("cooldown_s", 0.0),
+            min_workers=data.get("min_workers", 1),
+            max_workers=data.get("max_workers"),
+        )
+
+
+#: The inert default: no schedule, no autoscaler (falsy).
+NO_ELASTIC = ElasticSpec()

@@ -9,8 +9,11 @@ Subcommands
     result-store key.
 ``sweep``
     Run a scenario sweep — registry subsets by name or tag, optionally
-    grid-expanded across methods / seeds / scales / cluster sizes — in
-    parallel, with content-addressed result caching.
+    grid-expanded across methods / seeds / scales / cluster sizes /
+    autoscaler policies — in parallel, with content-addressed result caching.
+``report``
+    Print a per-scenario summary table straight from the cached result store,
+    without building or running a single simulation.
 ``golden-update``
     Regenerate (or ``--check``) the golden traces under
     ``tests/golden/traces/`` through the parallel sweep path.  Parallel and
@@ -156,6 +159,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         axes["scales"] = args.scales
     if args.workers:
         axes["workers"] = args.workers
+    if args.autoscalers:
+        axes["autoscalers"] = args.autoscalers
     if axes:
         specs = expand_registry(specs, **axes)
         print(f"expanded to {len(specs)} derived scenario(s)", file=sys.stderr)
@@ -163,6 +168,57 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     report = runner.run(specs)
     _print_report(report, args.json)
     return 1 if report.errors else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from ..experiments.reporting import format_table
+    from ..scenarios.matrix import ScenarioResult
+
+    if args.cache_dir:
+        store = ResultStore(Path(args.cache_dir) / STORE_FILENAME)
+    else:
+        store = ResultStore()
+    wanted = set(args.tags) if args.tags else None
+    unwanted = set(args.exclude_tags) if args.exclude_tags else None
+    entries = []
+    name_counts: dict = {}
+    for key in sorted(store.keys()):
+        spec = store.get_spec(key)
+        fingerprint = store.get(key)
+        if spec is None or fingerprint is None:
+            continue
+        if wanted is not None and not (wanted & set(spec.tags)):
+            continue
+        if unwanted is not None and (unwanted & set(spec.tags)):
+            continue
+        entries.append((key, spec, fingerprint))
+        name_counts[spec.name] = name_counts.get(spec.name, 0) + 1
+    if not entries:
+        print(f"no cached results in {store.path}", file=sys.stderr)
+        return 2
+    # The store may hold several results under one scenario name (the spec
+    # was edited between sweeps: same name, different content key).  Rows
+    # and JSON keys are disambiguated with a key prefix so no result is
+    # silently shadowed by a stale sibling.
+    rows = []
+    fingerprints = {}
+    for key, spec, fingerprint in entries:
+        label = spec.name if name_counts[spec.name] == 1 else \
+            f"{spec.name}#{key[:8]}"
+        row = ScenarioResult(spec=spec, run=None,
+                             fingerprint=fingerprint).summary_row()
+        row[0] = label
+        rows.append((label, row))
+        fingerprints[label] = fingerprint
+    rows.sort(key=lambda item: item[0])
+    if args.json:
+        print(json.dumps(fingerprints, indent=2, sort_keys=True))
+        print(f"{len(rows)} cached result(s) in {store.path}", file=sys.stderr)
+        return 0
+    headers = ["scenario", "method", "JCT (s)", "samples", "restarts", "failures"]
+    print(format_table(headers, [row for _, row in rows]))
+    print(f"{len(rows)} cached result(s) in {store.path} (0 simulations run)")
+    return 0
 
 
 def _cmd_golden_update(args: argparse.Namespace) -> int:
@@ -246,9 +302,23 @@ def build_parser() -> argparse.ArgumentParser:
                               help="grid axis: named workload scales")
     sweep_parser.add_argument("--workers", nargs="+", type=int, metavar="N",
                               help="grid axis: cluster worker counts")
+    sweep_parser.add_argument("--autoscalers", nargs="+", metavar="POLICY",
+                              help="grid axis: elastic autoscaler policies "
+                                   "(requires DDS-based base scenarios)")
     sweep_parser.add_argument("--json", action="store_true",
                               help="emit fingerprints as JSON instead of a table")
     sweep_parser.set_defaults(func=_cmd_sweep)
+
+    report_parser = commands.add_parser(
+        "report",
+        help="summarise cached sweep results without re-simulating")
+    _add_selection_args(report_parser, with_names=False)
+    report_parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                               help="result-store directory (default: "
+                                    "$REPRO_CACHE_DIR or .repro-cache/)")
+    report_parser.add_argument("--json", action="store_true",
+                               help="emit fingerprints as JSON instead of a table")
+    report_parser.set_defaults(func=_cmd_report)
 
     golden_parser = commands.add_parser(
         "golden-update",

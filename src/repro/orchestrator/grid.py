@@ -2,12 +2,12 @@
 
 The registry pins a fixed catalogue of named operating conditions; the
 evaluation grid is that catalogue *times* the axes the paper sweeps — method,
-seed, workload scale, cluster size.  :func:`expand` takes one base spec and
-produces the Cartesian product over the requested axes as uniquely named
-variants (``base@method=bsp,seed=3``), and :func:`expand_registry` maps the
-expansion over many bases, growing the sweepable space from 17 fixed
-registrations to hundreds of derived scenarios without registering any of
-them — derived specs are ephemeral sweep inputs, content-addressed by the
+seed, workload scale, cluster size, autoscaler policy.  :func:`expand` takes
+one base spec and produces the Cartesian product over the requested axes as
+uniquely named variants (``base@method=bsp,seed=3``), and
+:func:`expand_registry` maps the expansion over many bases, growing the
+sweepable space from two dozen fixed registrations to hundreds of derived
+scenarios without registering any of them — derived specs are ephemeral sweep inputs, content-addressed by the
 result store like any other spec.
 """
 
@@ -17,6 +17,8 @@ import itertools
 from dataclasses import replace
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from ..baselines.registry import PS_METHODS
+from ..elastic.spec import ElasticSpec
 from ..scenarios.spec import ScenarioSpec
 
 __all__ = ["expand", "expand_registry"]
@@ -26,20 +28,31 @@ def expand(base: ScenarioSpec,
            methods: Optional[Sequence[str]] = None,
            seeds: Optional[Sequence[int]] = None,
            scales: Optional[Sequence[str]] = None,
-           workers: Optional[Sequence[int]] = None) -> List[ScenarioSpec]:
+           workers: Optional[Sequence[int]] = None,
+           autoscalers: Optional[Sequence[str]] = None) -> List[ScenarioSpec]:
     """Every variant of ``base`` across the given axes (Cartesian product).
 
     Each provided axis replaces the corresponding spec field; ``workers``
     rewrites ``topology.num_workers`` (the scale resolution then re-derives
-    server counts and shard layout for the new cluster size).  Omitted axes
-    keep the base value.  With no axes at all, the base spec itself is
-    returned unchanged — ``expand`` composes transparently with plain sweeps.
+    server counts and shard layout for the new cluster size), and
+    ``autoscalers`` rewrites ``elastic.policy`` (keeping the base's schedule,
+    cadence and bounds; a base without elastic behaviour gets a default
+    :class:`~repro.elastic.spec.ElasticSpec` carrying just the policy).
+    Omitted axes keep the base value.  With no axes at all, the base spec
+    itself is returned unchanged — ``expand`` composes transparently with
+    plain sweeps.
 
     Variant names are ``{base.name}@axis=value,...`` with axes in a fixed
     order, so an expansion is collision-free by construction and the same
     call always derives the same names (and therefore the same result-store
     keys).  Spec validation runs on every variant: an unknown method or scale
     name fails the expansion immediately rather than mid-sweep.
+
+    One class of grid point cannot exist at all: an elastic base crossed with
+    a static-allocator method (the worker set of a static partition is fixed
+    at construction, so the spec would fail validation).  Those combinations
+    are dropped from the product — deterministically, so the expansion's
+    names and keys stay stable — rather than failing the whole expansion.
     """
     axes: List[Tuple[str, List[object]]] = []
     if methods is not None:
@@ -50,6 +63,8 @@ def expand(base: ScenarioSpec,
         axes.append(("scale", [str(scale) for scale in scales]))
     if workers is not None:
         axes.append(("workers", [int(count) for count in workers]))
+    if autoscalers is not None:
+        axes.append(("autoscaler", [str(policy) for policy in autoscalers]))
     for axis, values in axes:
         if not values:
             raise ValueError(f"axis {axis!r} must list at least one value")
@@ -59,9 +74,25 @@ def expand(base: ScenarioSpec,
     for combo in itertools.product(*(values for _, values in axes)):
         changes = dict(zip((axis for axis, _ in axes), combo))
         suffix = ",".join(f"{axis}={value}" for axis, value in changes.items())
+        method = changes.get("method", base.method)
+        elastic_variant = base.elastic or "autoscaler" in changes
+        if (elastic_variant and method in PS_METHODS
+                and PS_METHODS[method].allocator != "dds"):
+            # This grid point is unrepresentable (elastic membership needs
+            # the DDS); drop it instead of failing the expansion.
+            continue
         worker_count = changes.pop("workers", None)
         if worker_count is not None:
             changes["topology"] = replace(base.topology, num_workers=worker_count)
+        policy = changes.pop("autoscaler", None)
+        if policy is not None:
+            elastic = base.elastic if base.elastic else ElasticSpec()
+            # The base's policy parameters almost certainly do not fit a
+            # *different* policy's signature, so the axis swaps them out.
+            changes["elastic"] = replace(
+                elastic, policy=policy,
+                policy_params=elastic.policy_params
+                if elastic.policy == policy else ())
         variants.append(replace(base, name=f"{base.name}@{suffix}", **changes))
     return variants
 

@@ -10,8 +10,8 @@ can kill/relaunch its nodes and reconfigure backup workers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..core.actions import Action
 from ..core.agent import AgentGroup
@@ -20,11 +20,21 @@ from ..core.controller import Controller
 from ..core.monitor import Monitor
 from ..core.sharding import DataAllocator, StatefulDDS
 from ..core.solutions.base import Solution
+from ..elastic.membership import (
+    JOIN_REQUESTED,
+    JOINED,
+    LEFT,
+    MembershipEvent,
+    MembershipLog,
+)
 from ..sim.cluster import Cluster, Node, NodeRole, NodeStatus
 from ..sim.engine import Environment
 from ..sim.failures import ErrorCode, NodeFailure
 from ..sim.metrics import MetricsRecorder
 from ..sim.scheduler import ClusterScheduler, PendingTimeModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..elastic.autoscaler import Autoscaler
 from .backend import ComputeBackend, SyntheticBackend
 from .barrier import BSPBarrier
 from .config import PSJobConfig
@@ -54,6 +64,8 @@ class PSRunResult:
     auc: Optional[float] = None
     metrics: Optional[MetricsRecorder] = None
     monitor: Optional[Monitor] = None
+    # Elastic membership transitions (empty for fixed-fleet runs).
+    membership_events: List[MembershipEvent] = field(default_factory=list)
     # Engine counters for the perf subsystem (events over the whole run).
     engine_events_scheduled: int = 0
     engine_events_processed: int = 0
@@ -172,6 +184,24 @@ class PSTrainingJob:
         self._exited_workers: List[str] = []
         self._exited_worker_set: set = set()
         self._lr_factors: Dict[str, float] = {}
+
+        # Elastic membership: joining workers clone the first worker's spec
+        # (fresh pods land on uncontended machines, so the template's
+        # post-restart contention applies), names continue the worker-N
+        # sequence without ever reusing a departed name, and every transition
+        # is appended to the membership log (part of the run fingerprint).
+        self.membership = MembershipLog()
+        self.autoscaler: Optional["Autoscaler"] = None
+        self.elastic_min_workers = 1
+        self.elastic_max_workers: Optional[int] = None
+        self._worker_template = cluster.workers[0].spec
+        self._next_worker_index = cluster.num_workers
+        self._pending_worker_count = 0
+        # Workers whose scale-in drain was granted but has not yet finished:
+        # they still count as RUNNING until the interrupt is processed, so
+        # the min-workers floor must discount them explicitly or two
+        # same-instant scale-in requests could breach it.
+        self._draining_workers: set = set()
 
         # The active-worker count sits on the per-push-request hot path (every
         # server consults it for delay amortisation and report strides), so it
@@ -295,6 +325,150 @@ class PSTrainingJob:
                     return granted
         return False
 
+    # -- elastic membership ------------------------------------------------------------
+    def configure_elastic(self, min_workers: int = 1,
+                          max_workers: Optional[int] = None) -> None:
+        """Set the hard membership bounds scale requests are clamped to."""
+        if min_workers < 1:
+            raise ValueError("min_workers must be at least 1")
+        if max_workers is not None and max_workers < min_workers:
+            raise ValueError("max_workers must be >= min_workers")
+        self.elastic_min_workers = min_workers
+        self.elastic_max_workers = max_workers
+
+    def attach_autoscaler(self, autoscaler: "Autoscaler") -> None:
+        """Attach an autoscaler; its control loop starts with :meth:`start`."""
+        self.autoscaler = autoscaler
+
+    def pending_worker_count(self) -> int:
+        """Workers requested from the scheduler but not yet placed."""
+        return self._pending_worker_count
+
+    def remaining_samples(self) -> int:
+        """Samples of the workload not yet confirmed by the servers."""
+        total = getattr(self.allocator, "total_samples", self._samples_confirmed)
+        return max(0, int(total) - self._samples_confirmed)
+
+    def default_scale_in_targets(self, count: int) -> List[str]:
+        """The ``count`` most recently joined active workers (LIFO order)."""
+        if count <= 0:
+            return []
+        active = self.active_worker_names()
+        return list(reversed(active[-count:]))
+
+    def _next_worker_name(self) -> str:
+        name = f"worker-{self._next_worker_index}"
+        while self.cluster.is_known(name):
+            self._next_worker_index += 1
+            name = f"worker-{self._next_worker_index}"
+        self._next_worker_index += 1
+        return name
+
+    def request_scale_out(self, count: int, reason: str = "scale out") -> List[str]:
+        """Request ``count`` additional workers from the cluster scheduler.
+
+        Each requested node enters the membership as PENDING and rides the
+        scheduler's pending-time queue (:meth:`ClusterScheduler.provision`)
+        before its worker process starts — on a busy cluster the capacity
+        arrives late or, if the job finishes first, never.  Requests beyond
+        ``elastic_max_workers`` (counting active plus pending members) are
+        refused.  Returns the node names actually requested.
+        """
+        if not isinstance(self.allocator, StatefulDDS):
+            # A static partition fixes the worker set at construction time;
+            # elastic membership requires the DDS's dynamic work queue.
+            return []
+        granted: List[str] = []
+        for _ in range(max(0, int(count))):
+            committed = self.active_worker_count() + self._pending_worker_count
+            if (self.elastic_max_workers is not None
+                    and committed >= self.elastic_max_workers):
+                break
+            template = self._worker_template
+            spec = replace(template, name=self._next_worker_name(),
+                           contention=template.post_restart_contention)
+            node = self.cluster.add_node(spec)
+            self._pending_worker_count += 1
+            now = self.env.now
+            self.metrics.log_event(now, "scale_out_requested", node.name, reason)
+            self.membership.record(now, JOIN_REQUESTED, node.name)
+            self.env.process(self._provision_worker(node))
+            granted.append(node.name)
+        return granted
+
+    def _provision_worker(self, node: Node):
+        """Simulation process: ride the scheduling queue, then join training."""
+        yield from self.scheduler.provision(node)
+        self._pending_worker_count -= 1
+        now = self.env.now
+        if self.completed:
+            # The job finished while the pod sat in the scheduling queue; the
+            # capacity arrives to nothing (the busy-cluster gate in action).
+            node.mark_finished()
+            self.metrics.log_event(now, "join_after_completion", node.name)
+            return
+        agent = self.agent_group.create_agent(node.name, is_worker=True)
+        # A joining pod reads the *current* global state; historical
+        # broadcasts (old batch assignments keyed by other workers) must not
+        # replay against it.
+        agent.reset_after_restart()
+        worker = PSWorker(
+            env=self.env,
+            node=node,
+            agent=agent,
+            allocator=self.allocator,
+            backend=self.backend,
+            servers=self.servers,
+            config=self.config,
+            scheduler=self.scheduler,
+            metrics=self.metrics,
+            job=self,
+            barrier=self.barrier,
+            initial_batch_size=max(
+                1, self.config.global_batch_size // max(1, self.cluster.num_workers)),
+        )
+        self.workers.append(worker)
+        node.add_status_listener(self._on_worker_status_change)
+        self._on_worker_status_change(node)
+        self.membership.record(now, JOINED, node.name)
+        self.metrics.log_event(now, "worker_joined", node.name)
+        worker.start()
+
+    def request_scale_in(self, node_names: List[str],
+                         reason: str = "scale in") -> List[str]:
+        """Gracefully retire the named workers (elastic scale-in).
+
+        A request is refused for unknown names, servers, workers already
+        restarting or retiring, and whenever retiring would push the active
+        membership below ``elastic_min_workers``.  Returns the names whose
+        drain actually started.
+        """
+        retiring: List[str] = []
+        for name in node_names:
+            if (self.active_worker_count() - len(self._draining_workers)
+                    <= self.elastic_min_workers):
+                break
+            worker = next((candidate for candidate in self.workers
+                           if candidate.name == name), None)
+            if worker is None:
+                continue
+            if worker.request_scale_in():
+                self._draining_workers.add(name)
+                self.metrics.log_event(self.env.now, "scale_in_requested",
+                                       name, reason)
+                retiring.append(name)
+        return retiring
+
+    def worker_departed(self, worker: PSWorker) -> None:
+        """Finish a worker's graceful drain: drop it from the membership."""
+        name = worker.name
+        self._draining_workers.discard(name)
+        self.cluster.remove_node(name)
+        now = self.env.now
+        self.membership.record(now, LEFT, name)
+        self.metrics.log_event(now, "worker_left", name)
+        self.worker_exited(name)
+
     def set_backup_workers(self, num_backup: int) -> None:
         """Configure the number of slowest gradients dropped per iteration."""
         self.config.backup_workers = num_backup
@@ -308,8 +482,11 @@ class PSTrainingJob:
             self.backend.scale_learning_rate(worker, factor)
 
     def restart_counts(self) -> Dict[str, int]:
-        """Relaunches performed so far per node."""
-        return {node.name: node.restart_count for node in self.cluster.nodes}
+        """Relaunches performed so far per node (departed nodes included)."""
+        counts = {node.name: node.restart_count for node in self.cluster.nodes}
+        for node in self.cluster.departed:
+            counts[node.name] = node.restart_count
+        return counts
 
     def last_restart_times(self) -> Dict[str, float]:
         """Simulation time of the latest relaunch per node."""
@@ -327,6 +504,8 @@ class PSTrainingJob:
             worker.start()
         if self.controller is not None:
             self.env.process(self.controller.run())
+        if self.autoscaler is not None:
+            self.env.process(self.autoscaler.run())
 
     def run(self) -> PSRunResult:
         """Run the job to completion and return the result summary."""
@@ -347,6 +526,9 @@ class PSTrainingJob:
         if self.evaluate_after_run:
             auc_value = self.backend.evaluate()
         total_samples = getattr(self.allocator, "total_samples", self._samples_confirmed)
+        action_log = list(self.controller.action_log) if self.controller else []
+        if self.autoscaler is not None:
+            action_log.extend(self.autoscaler.action_log)
         return PSRunResult(
             job_completion_time_s=jct,
             completed=self.completed,
@@ -356,12 +538,13 @@ class PSTrainingJob:
             restarts_per_node=self.restart_counts(),
             dropped_iterations=dropped,
             framework_overhead_s=overhead,
-            action_log=list(self.controller.action_log) if self.controller else [],
+            action_log=action_log,
             done_shards=done_shards,
             total_shards=total_shards,
             auc=auc_value,
             metrics=self.metrics,
             monitor=self.monitor,
+            membership_events=self.membership.events,
             engine_events_scheduled=self.env.scheduled_count,
             engine_events_processed=self.env.processed_count,
         )

@@ -83,6 +83,24 @@ class ParameterServer:
         self.queue.push(request)
         return request.done
 
+    def discard_requests_from(self, worker: str) -> int:
+        """Purge queued push requests of a departed worker; returns the count.
+
+        Part of the elastic scale-in drain: a retiring worker's queued pushes
+        must not be handled after it left — the server would burn handling
+        time on gradients nobody will confirm and count down a latch whose
+        consumer is gone (a stale event).  The request the server is
+        *currently* handling cannot be withdrawn; its acknowledgement is
+        neutralized by the worker abandoning the latch instead.
+        """
+        items = self.queue.items
+        keep = [request for request in items if request.worker != worker]
+        dropped = len(items) - len(keep)
+        if dropped:
+            items.clear()
+            items.extend(keep)
+        return dropped
+
     # -- controller-facing API -----------------------------------------------------
     def request_kill_restart(self) -> bool:
         """Kill this server and relaunch it (returns False if already restarting)."""

@@ -26,6 +26,7 @@ from typing import List, Optional
 from ..core.actions import Action, AdjustBatchSize
 from ..core.agent import Agent
 from ..core.sharding import DataAllocator
+from ..elastic.membership import SCALE_IN
 from ..sim.cluster import Node
 from ..sim.engine import CountdownEvent, Environment, Interrupt
 from ..sim.failures import ErrorCode
@@ -79,7 +80,12 @@ class PSWorker:
         self.dropped_iterations = 0
         self.process = None
         self._restart_requested = False
+        self._scale_in_requested = False
         self._in_barrier = False
+        # The acknowledgement latch of the in-flight iteration, if any; a
+        # graceful scale-in abandons it so no server schedules a stale
+        # completion event for a consumer that left.
+        self._pending_acks: Optional[CountdownEvent] = None
         # Cached series handles: three appends per iteration otherwise pay a
         # recorder key lookup each.
         self._bpt_series = metrics.series("bpt", tag=self.name)
@@ -105,10 +111,28 @@ class PSWorker:
         """
         if not self.node.is_running or self.process is None or not self.process.is_alive:
             return False
-        if self._restart_requested:
+        if self._restart_requested or self._scale_in_requested:
             return False
         self._restart_requested = True
         self.process.interrupt(code)
+        return True
+
+    def request_scale_in(self) -> bool:
+        """Gracefully retire this worker (elastic scale-in).
+
+        Returns False when the worker cannot drain right now: it is already
+        restarting, already retiring, or its process finished.  A granted
+        request interrupts the training loop with the :data:`SCALE_IN`
+        sentinel; the drain requeues in-flight samples with the allocator,
+        purges the worker's queued pushes from every server, abandons its
+        acknowledgement latch, and departs the cluster membership for good.
+        """
+        if not self.node.is_running or self.process is None or not self.process.is_alive:
+            return False
+        if self._restart_requested or self._scale_in_requested:
+            return False
+        self._scale_in_requested = True
+        self.process.interrupt(SCALE_IN)
         return True
 
     # -- action handling ------------------------------------------------------------
@@ -147,6 +171,26 @@ class PSWorker:
         if self.barrier is not None and self._in_barrier:
             self.barrier.leave(self.name)
             self._in_barrier = False
+
+    # -- elastic departure -------------------------------------------------------------
+    def _depart(self) -> None:
+        """Drain and leave: the graceful counterpart of a failover.
+
+        Ordering matters: the in-flight shard work is requeued with the
+        allocator *before* the membership shrinks, so at no instant is any
+        sample owned by nobody — the shard-accounting invariant holds across
+        the whole transition.
+        """
+        self.metrics.log_event(self.env.now, "worker_scale_in", self.name)
+        self._exit_barrier()
+        self.allocator.on_worker_failover(self.name)
+        for server in self.servers:
+            server.discard_requests_from(self.name)
+        acks = self._pending_acks
+        if acks is not None and not acks.triggered:
+            acks.abandon()
+        self._pending_acks = None
+        self.job.worker_departed(self)
 
     # -- failover ---------------------------------------------------------------------
     def _failover(self, cause: object):
@@ -238,9 +282,11 @@ class PSWorker:
                     # ack event per server plus an AllOf: the same fan-in
                     # point with one heap event instead of len(servers) + 1.
                     acks = CountdownEvent(env, len(servers))
+                    self._pending_acks = acks
                     for server in servers:
                         server.submit(name, per_server, acks)
                     yield acks
+                    self._pending_acks = None
 
                 # The pull sleep stays separate from the report sleep: the
                 # iteration must only be recorded once the pull actually
@@ -282,6 +328,13 @@ class PSWorker:
                     yield release
                 self.iteration += 1
             except Interrupt as interrupt:
+                if interrupt.cause is SCALE_IN:
+                    # Graceful retirement: drain and leave the loop for good
+                    # (no relaunch, no node.mark_finished — the node departs
+                    # the membership entirely via the job).
+                    self._depart()
+                    return
+                self._pending_acks = None
                 yield from self._failover(interrupt.cause)
 
         # Exit: leave the barrier so remaining workers are not blocked.

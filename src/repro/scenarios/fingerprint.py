@@ -77,7 +77,7 @@ def fingerprint(spec: "ScenarioSpec", result: "PSRunResult",
             for event in injector.history
         ]
     jct = result.jct
-    return {
+    payload = {
         "scenario": spec.name,
         "method": spec.method,
         "seed": spec.seed,
@@ -96,3 +96,20 @@ def fingerprint(spec: "ScenarioSpec", result: "PSRunResult",
         "failures": failures,
         "workers": workers,
     }
+    if result.membership_events:
+        # Elastic membership churn is part of the pinned behaviour.  The key
+        # is added only when churn occurred, so every fixed-fleet trace stays
+        # byte-identical to its pre-elastic form.
+        counts = {"join_requested": 0, "joined": 0, "left": 0}
+        events = []
+        for event in result.membership_events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+            events.append({"time_s": _round(event.time_s), "event": event.kind,
+                           "node": event.node})
+        payload["elastic"] = {
+            "events": events,
+            "joined": counts["joined"],
+            "left": counts["left"],
+            "unplaced": counts["join_requested"] - counts["joined"],
+        }
+    return payload

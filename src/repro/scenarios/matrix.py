@@ -18,6 +18,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..baselines.registry import get_method
+from ..elastic.autoscaler import Autoscaler, AutoscalerConfig
+from ..elastic.policies import make_policy
+from ..elastic.spec import ElasticSpec, ScaleEvent
 from ..experiments.runner import PSExperiment
 from ..psarch.backend import ComputeBackend
 from ..psarch.job import PSRunResult, PSTrainingJob
@@ -104,6 +107,64 @@ def _failure_trace_process(job: PSTrainingJob, events: Sequence[FailureEvent]):
             job.metrics.log_event(env.now, "failure_skipped", event.node, event.code)
 
 
+def _scale_event_process(job: PSTrainingJob, events: Sequence[ScaleEvent]):
+    """Simulation process replaying a deterministic scale schedule.
+
+    A scale-in without explicit node names retires the job's most recently
+    joined active workers (LIFO).  Requests the job refuses (membership at
+    its bounds, named node unknown or already draining) are logged as
+    ``scale_skipped`` metrics events so the divergence from the declared
+    schedule is visible in the run record rather than silent.
+    """
+    env = job.env
+    for event in sorted(events, key=lambda item: item.time_s):
+        delay = event.time_s - env.now
+        if delay > 0:
+            yield env.timeout(delay)
+        if job.completed:
+            return
+        if event.action == "out":
+            granted = job.request_scale_out(event.count, reason="elastic-schedule")
+        else:
+            targets = (list(event.nodes) if event.nodes
+                       else job.default_scale_in_targets(event.count))
+            granted = job.request_scale_in(targets, reason="elastic-schedule")
+        if len(granted) < event.count:
+            job.metrics.log_event(
+                env.now, "scale_skipped", f"scale_{event.action}",
+                f"granted {len(granted)}/{event.count}")
+
+
+def _arm_elastic(job: PSTrainingJob, spec: ScenarioSpec) -> None:
+    """Wire a spec's elastic behaviour onto a built job."""
+    elastic: ElasticSpec = spec.elastic
+    job.configure_elastic(min_workers=elastic.min_workers,
+                          max_workers=elastic.max_workers)
+    if elastic.policy is not None:
+        policy = make_policy(elastic.policy, **dict(elastic.policy_params))
+        antdt = job.antdt_config
+        autoscaler = Autoscaler(
+            env=job.env,
+            monitor=job.monitor,
+            policy=policy,
+            executor=job,
+            config=AutoscalerConfig(
+                interval_s=elastic.interval_s,
+                cooldown_s=elastic.cooldown_s,
+                min_workers=elastic.min_workers,
+                max_workers=elastic.max_workers,
+                short_window_s=antdt.transient_window_s,
+                long_window_s=antdt.persistent_window_s,
+                slowness_ratio=antdt.slowness_ratio,
+            ),
+            busy_provider=job.scheduler.is_busy,
+            pending_time_provider=job.scheduler.pending_time,
+        )
+        job.attach_autoscaler(autoscaler)
+    if elastic.events:
+        job.env.process(_scale_event_process(job, elastic.events))
+
+
 def build_scenario_job(spec: ScenarioSpec, **overrides: object
                        ) -> Tuple[PSTrainingJob, FailureInjector]:
     """Assemble the runnable job (with armed failure trace) for a scenario.
@@ -121,13 +182,18 @@ def build_scenario_job(spec: ScenarioSpec, **overrides: object
     job = experiment.build_job()
     unknown = sorted({event.node for event in spec.failures.events}
                      - {node.name for node in job.cluster.nodes})
-    if unknown:
+    if unknown and not spec.elastic:
+        # With elastic scaling the membership is dynamic — a trace may
+        # legitimately target a node that joins later (a miss is logged as
+        # ``failure_skipped`` at fire time instead).
         raise ValueError(
             f"scenario {spec.name!r}: failure trace names nodes not in the "
             f"resolved topology: {unknown}")
     _apply_heterogeneity(job.cluster, spec.topology)
     if spec.failures:
         job.env.process(_failure_trace_process(job, spec.failures.events))
+    if spec.elastic:
+        _arm_elastic(job, spec)
     return job, injector
 
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from ..elastic.spec import ElasticSpec, ScaleEvent
 from ..experiments.stragglers import (
     NO_STRAGGLERS,
     StragglerScenario,
@@ -253,6 +254,120 @@ register_scenario(ScenarioSpec(
     description="A third of the workers on an older machine series under a static "
                 "even partition: deterministic stragglers dominate the tail.",
     tags=("hetero", "asp"),
+))
+
+# -- elastic membership -----------------------------------------------------
+register_scenario(ScenarioSpec(
+    name="elastic-scale-out",
+    method="bsp",
+    seed=13,
+    elastic=ElasticSpec(events=(
+        ScaleEvent(time_s=30.0, action="out", count=2),
+    )),
+    description="Two extra workers requested mid-epoch on an idle dedicated "
+                "cluster: they ride the pending queue, join the barrier, and "
+                "the DDS feeds them without losing or duplicating a sample.",
+    tags=("dedicated", "elastic", "bsp"),
+))
+
+register_scenario(ScenarioSpec(
+    name="elastic-scale-out-busy",
+    method="antdt-nd",
+    seed=14,
+    topology=TopologySpec(dedicated=False, cluster_busy=True),
+    stragglers=worker_scenario(0.5, include_persistent=False),
+    elastic=ElasticSpec(events=(
+        ScaleEvent(time_s=30.0, action="out", count=2),
+    )),
+    description="Scale-out requested at peak hour: the scheduler's pending "
+                "time exceeds the job's remaining runtime, so the capacity "
+                "never arrives (the busy-cluster gate, elastically).",
+    tags=("non-dedicated", "elastic", "busy"),
+))
+
+register_scenario(ScenarioSpec(
+    name="elastic-scale-in-straggler",
+    method="bsp",
+    seed=15,
+    topology=TopologySpec(dedicated=False),
+    stragglers=StragglerScenario(
+        name="persistent-only",
+        side="worker",
+        intensity=1.0,
+        persistent_delay_s=3.0,
+        transient_fraction=0.0,
+    ),
+    elastic=ElasticSpec(policy="straggler-pressure", interval_s=25.0,
+                        cooldown_s=50.0, min_workers=4),
+    description="The straggler-pressure autoscaler retires a persistent "
+                "straggler instead of dragging it: the DDS requeues its "
+                "in-flight shard and the healthy fleet absorbs the data.",
+    tags=("non-dedicated", "elastic", "persistent"),
+))
+
+register_scenario(ScenarioSpec(
+    name="elastic-churn-storm",
+    method="antdt-nd",
+    seed=16,
+    topology=TopologySpec(dedicated=False),
+    stragglers=worker_scenario(0.5, include_persistent=False),
+    elastic=ElasticSpec(events=(
+        ScaleEvent(time_s=25.0, action="out", count=2),
+        ScaleEvent(time_s=45.0, action="out", count=1),
+        ScaleEvent(time_s=70.0, action="in", count=2),
+        ScaleEvent(time_s=95.0, action="out", count=1),
+    )),
+    description="Repeated membership churn mid-epoch — joins and graceful "
+                "retirements interleaved with transient stragglers — while "
+                "shard accounting must stay balanced throughout.",
+    tags=("non-dedicated", "elastic", "churn"),
+))
+
+register_scenario(ScenarioSpec(
+    name="elastic-checkpoint-failover",
+    method="bsp",
+    seed=17,
+    failures=FailureTraceSpec(events=(
+        FailureEvent(time_s=60.0, node="worker-2",
+                     code=ErrorCode.MACHINE_FAILURE.value),
+    )),
+    elastic=ElasticSpec(events=(
+        ScaleEvent(time_s=25.0, action="out", count=1),
+    )),
+    description="Elastic join plus a machine fault on an original worker: "
+                "the failover requeue and the elastic re-sharding compose "
+                "without losing a sample.",
+    tags=("dedicated", "elastic", "failures", "checkpoint"),
+))
+
+register_scenario(ScenarioSpec(
+    name="elastic-scheduled-capacity",
+    method="asp-dds",
+    seed=18,
+    elastic=ElasticSpec(policy="scheduled-capacity",
+                        policy_params=(("schedule", [[0.0, 6], [30.0, 9],
+                                                     [70.0, 6]]),),
+                        interval_s=15.0, max_workers=10),
+    description="A deterministic capacity plan (grow to 9 workers at t=30, "
+                "shrink back at t=70) driven by the scheduled-capacity "
+                "autoscaler under ASP training.",
+    tags=("dedicated", "elastic", "asp", "schedule"),
+))
+
+register_scenario(ScenarioSpec(
+    name="elastic-autoscale-utilization",
+    method="asp-dds",
+    seed=19,
+    topology=TopologySpec(dedicated=False),
+    stragglers=worker_scenario(0.3, include_persistent=False),
+    elastic=ElasticSpec(policy="utilization",
+                        policy_params=(("scale_out_horizon_s", 60.0),
+                                       ("scale_in_horizon_s", 10.0)),
+                        interval_s=20.0, max_workers=9),
+    description="The utilization autoscaler grows the fleet while the "
+                "estimated time-to-finish exceeds its horizon and retires "
+                "the newest workers as the backlog drains.",
+    tags=("non-dedicated", "elastic", "asp"),
 ))
 
 # -- scale ------------------------------------------------------------------

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field, fields, replace
 from typing import Dict, Mapping, Optional, Tuple
 
 from ..baselines.registry import PS_METHODS
+from ..elastic.spec import NO_ELASTIC, ElasticSpec
 from ..experiments.stragglers import NO_STRAGGLERS, StragglerScenario
 from ..experiments.workloads import SCALES, ExperimentScale
 from ..sim.failures import ErrorCode
@@ -187,6 +188,11 @@ class ScenarioSpec:
         (:class:`~repro.experiments.stragglers.StragglerScenario`).
     failures:
         Deterministic failure trace injected while the job runs.
+    elastic:
+        Elastic-scaling behaviour (:class:`~repro.elastic.spec.ElasticSpec`):
+        a deterministic scale-out/scale-in schedule and/or an autoscaler
+        policy.  Requires a DDS-based method — a static partition fixes the
+        worker set at construction time.
     iterations / epochs:
         Workload-length overrides on top of the base scale.
     scale_overrides:
@@ -204,6 +210,7 @@ class ScenarioSpec:
     topology: TopologySpec = field(default_factory=TopologySpec)
     stragglers: StragglerScenario = NO_STRAGGLERS
     failures: FailureTraceSpec = field(default_factory=FailureTraceSpec)
+    elastic: ElasticSpec = NO_ELASTIC
     iterations: Optional[int] = None
     epochs: Optional[int] = None
     scale_overrides: Tuple[Tuple[str, object], ...] = ()
@@ -221,6 +228,11 @@ class ScenarioSpec:
                 "(rebuild from scale_overrides)")
         if self.scale == "auto" and self.topology.num_workers is None:
             raise ValueError("scale='auto' requires topology.num_workers")
+        if self.elastic and PS_METHODS[self.method].allocator != "dds":
+            raise ValueError(
+                f"elastic scaling requires a DDS-based method; {self.method!r} "
+                "uses a static partition whose worker set is fixed at "
+                "construction time")
         if self.iterations is not None and self.iterations <= 0:
             raise ValueError("iterations override must be positive")
         if self.epochs is not None and self.epochs <= 0:
@@ -308,6 +320,7 @@ class ScenarioSpec:
             "topology": self.topology.to_dict(),
             "stragglers": self.stragglers.to_dict(),
             "failures": self.failures.to_dict(),
+            "elastic": self.elastic.to_dict(),
             "iterations": self.iterations,
             "epochs": self.epochs,
             "scale_overrides": [[key, value] for key, value in self.scale_overrides],
@@ -327,6 +340,7 @@ class ScenarioSpec:
             stragglers=StragglerScenario.from_dict(
                 data.get("stragglers", NO_STRAGGLERS.to_dict())),
             failures=FailureTraceSpec.from_dict(data.get("failures", {"events": []})),
+            elastic=ElasticSpec.from_dict(data.get("elastic", {})),
             iterations=data.get("iterations"),
             epochs=data.get("epochs"),
             scale_overrides=tuple(

@@ -33,10 +33,15 @@ class NodeRole(enum.Enum):
 class NodeStatus(enum.Enum):
     """Lifecycle status of a node (pod)."""
 
+    #: Requested from the cluster scheduler but not yet placed (elastic
+    #: scale-out rides the same pending-time gate as a relaunch).
+    PENDING = "pending"
     RUNNING = "running"
     RESTARTING = "restarting"
     FAILED = "failed"
     FINISHED = "finished"
+    #: Permanently departed from the job (elastic scale-in).
+    LEFT = "left"
 
 
 @dataclass
@@ -77,9 +82,10 @@ class NodeSpec:
 class Node:
     """Runtime state of one node in a simulated run."""
 
-    def __init__(self, spec: NodeSpec, rng: Optional[np.random.Generator] = None) -> None:
+    def __init__(self, spec: NodeSpec, rng: Optional[np.random.Generator] = None,
+                 status: NodeStatus = NodeStatus.RUNNING) -> None:
         self.spec = spec
-        self.status = NodeStatus.RUNNING
+        self.status = status
         self.contention: ContentionModel = spec.contention
         self.restart_count = 0
         self.incarnation = 0
@@ -187,6 +193,19 @@ class Node:
         self.status = NodeStatus.FINISHED
         self._notify_status()
 
+    def complete_join(self) -> None:
+        """Finish elastic provisioning: the pending pod was placed and is live."""
+        if self.status is not NodeStatus.PENDING:
+            raise RuntimeError(
+                f"node {self.name!r} is {self.status.value}, not pending a join")
+        self.status = NodeStatus.RUNNING
+        self._notify_status()
+
+    def mark_left(self) -> None:
+        """Mark the node as permanently departed (elastic scale-in)."""
+        self.status = NodeStatus.LEFT
+        self._notify_status()
+
     def __repr__(self) -> str:
         return (
             f"Node({self.name}, {self.role.value}, {self.device.name}, "
@@ -215,7 +234,11 @@ class Cluster:
         self.name = name
         self.dedicated = dedicated
         self._nodes: Dict[str, Node] = {}
-        root = np.random.default_rng(seed)
+        self._departed: Dict[str, Node] = {}
+        # Kept alive for elastic membership: nodes added at simulation time
+        # draw their contention-noise seed from the same root stream, so a
+        # given join sequence is deterministic for a given cluster seed.
+        self._seed_root = root = np.random.default_rng(seed)
         for spec in specs:
             if spec.name in self._nodes:
                 raise ValueError(f"duplicate node name {spec.name!r}")
@@ -264,6 +287,47 @@ class Cluster:
     def num_servers(self) -> int:
         """Number of server nodes."""
         return len(self.servers)
+
+    # -- elastic membership ---------------------------------------------------
+    def add_node(self, spec: NodeSpec,
+                 status: NodeStatus = NodeStatus.PENDING) -> Node:
+        """Add a node at simulation time (elastic scale-out).
+
+        The node starts ``PENDING`` by default: it exists as membership state
+        but cannot process work until the cluster scheduler places it
+        (:meth:`Node.complete_join`).  Names must be unique across the whole
+        membership history — a departed node's name is never reused, so logs,
+        metrics tags and restart counts stay unambiguous.
+        """
+        if spec.name in self._nodes or spec.name in self._departed:
+            raise ValueError(f"duplicate node name {spec.name!r}")
+        child_seed = int(self._seed_root.integers(0, 2**31 - 1))
+        node = Node(spec, rng=np.random.default_rng(child_seed), status=status)
+        self._nodes[spec.name] = node
+        return node
+
+    def remove_node(self, name: str) -> Node:
+        """Remove a node from the active membership (elastic scale-in).
+
+        The node is marked ``LEFT`` (listeners fire, so cached membership
+        views invalidate) and moved to :attr:`departed`, where its identity
+        and restart history remain inspectable.
+        """
+        node = self.get(name)
+        if node.status is not NodeStatus.LEFT:
+            node.mark_left()
+        del self._nodes[name]
+        self._departed[name] = node
+        return node
+
+    @property
+    def departed(self) -> List[Node]:
+        """Nodes that permanently left the membership, in departure order."""
+        return list(self._departed.values())
+
+    def is_known(self, name: str) -> bool:
+        """Whether the name belongs to any node, active or departed."""
+        return name in self._nodes or name in self._departed
 
     def set_contention(self, node_name: str, contention: ContentionModel) -> None:
         """Override the current contention model of one node."""

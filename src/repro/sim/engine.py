@@ -402,21 +402,46 @@ class CountdownEvent(Event):
     with the value of the final ``count_down``.
     """
 
-    __slots__ = ("_remaining",)
+    __slots__ = ("_remaining", "_abandoned")
 
     def __init__(self, env: "Environment", count: int) -> None:
         if count <= 0:
             raise ValueError("count must be positive")
         super().__init__(env)
         self._remaining = int(count)
+        self._abandoned = False
 
     @property
     def remaining(self) -> int:
         """Pending ``count_down`` calls before the event succeeds."""
         return self._remaining
 
+    @property
+    def abandoned(self) -> bool:
+        """True once the latch was neutralized via :meth:`abandon`."""
+        return self._abandoned
+
+    def abandon(self) -> None:
+        """Neutralize the latch: it will never fire, remaining producers no-op.
+
+        Used when the consumer leaves the simulation for good (elastic
+        scale-in): producers that still hold a slot must not schedule a stale
+        completion event into the heap for a waiter that no longer exists.
+        Abandoning an already-triggered latch is an error — the completion
+        has been published and cannot be retracted.
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._abandoned = True
+
     def count_down(self, value: Any = None) -> int:
-        """Record one completion; succeeds the event on the final call."""
+        """Record one completion; succeeds the event on the final call.
+
+        On an abandoned latch this is a no-op (the remaining count is left
+        untouched and no event is ever scheduled).
+        """
+        if self._abandoned:
+            return self._remaining
         if self._remaining <= 0:
             raise RuntimeError(f"{self!r} has already been fully counted down")
         self._remaining -= 1

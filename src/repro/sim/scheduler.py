@@ -116,6 +116,7 @@ class ClusterScheduler:
         self.metrics = metrics
         self.failure_injector = failure_injector
         self.restart_log: List[Tuple[float, str, float]] = []
+        self.provision_log: List[Tuple[float, str, float]] = []
 
     # -- third-party information ------------------------------------------------
     def pending_time(self) -> float:
@@ -158,3 +159,27 @@ class ClusterScheduler:
     def restarts_of(self, node_name: str) -> int:
         """Number of relaunches performed for a node."""
         return sum(1 for _, name, _ in self.restart_log if name == node_name)
+
+    # -- elastic provisioning ------------------------------------------------------
+    def provision(self, node: Node):
+        """Simulated process that places a newly requested (PENDING) node.
+
+        Elastic scale-out rides exactly the same queue as a relaunch: the pod
+        waits the scheduler's *current* pending time plus the initialisation
+        time before :meth:`Node.complete_join` makes it RUNNING.  On a busy
+        cluster a requested node therefore arrives late — or effectively never,
+        if the job finishes first — which is the pending-time gate the AntDT-ND
+        policy reasons about.  Returns the total delay.
+        """
+        start = self.env.now
+        if self.metrics is not None:
+            self.metrics.log_event(start, "provision_requested", node.name)
+        delay = self.restart_delay()
+        yield self.env.timeout(delay)
+        node.complete_join()
+        total = self.env.now - start
+        self.provision_log.append((start, node.name, total))
+        if self.metrics is not None:
+            self.metrics.log_event(self.env.now, "provision_complete", node.name)
+            self.metrics.record("provision_delay", total, self.env.now, tag=node.name)
+        return total

@@ -88,7 +88,7 @@ def test_warm_cache_full_registry_sweep_runs_zero_simulations(tmp_path):
 def test_cli_list_and_show(capsys):
     assert cli_main(["list"]) == 0
     out = capsys.readouterr().out
-    assert "dedicated-baseline" in out and "17 scenario(s)" in out
+    assert "dedicated-baseline" in out and "24 scenario(s)" in out
 
     assert cli_main(["list", "--tags", "failures", "--exclude-tags", "eviction",
                      "--json"]) == 0
@@ -168,7 +168,7 @@ def test_cli_golden_update_never_reads_the_result_store(tmp_path, capsys,
 
 @pytest.mark.slow
 def test_cli_parallel_golden_update_matches_checked_in_traces(tmp_path):
-    """Acceptance: the parallel CLI path regenerates all 17 golden traces
+    """Acceptance: the parallel CLI path regenerates every golden trace
     byte-identical to the checked-in serial ones."""
     from repro.orchestrator.cli import default_trace_dir
 

@@ -12,6 +12,7 @@ import json
 from hypothesis import given, settings, strategies as st
 
 from repro.baselines.registry import PS_METHODS
+from repro.elastic.spec import NO_ELASTIC, ElasticSpec, ScaleEvent
 from repro.experiments.stragglers import StragglerScenario
 from repro.experiments.workloads import SCALES
 from repro.scenarios import (
@@ -70,12 +71,59 @@ def failure_traces(draw):
 
 
 @st.composite
+def scale_events(draw):
+    action = draw(st.sampled_from(["out", "in"]))
+    nodes = ()
+    if action == "in" and draw(st.booleans()):
+        nodes = tuple(draw(st.lists(_NAMES, min_size=1, max_size=3, unique=True)))
+    return ScaleEvent(
+        time_s=draw(_TIMES),
+        action=action,
+        count=draw(st.integers(min_value=1, max_value=8)),
+        nodes=nodes,
+    )
+
+
+@st.composite
+def elastic_specs(draw):
+    policy = draw(st.sampled_from(
+        [None, "utilization", "straggler-pressure", "scheduled-capacity"]))
+    params = ()
+    if policy == "scheduled-capacity":
+        steps = draw(st.lists(
+            st.tuples(st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+                      st.integers(min_value=1, max_value=64)),
+            min_size=1, max_size=4, unique_by=lambda step: step[0]))
+        schedule = [[time_s, target] for time_s, target in sorted(steps)]
+        params = (("schedule", schedule),)
+    elif policy == "straggler-pressure" and draw(st.booleans()):
+        params = (("replace", draw(st.booleans())),)
+    min_workers = draw(st.integers(min_value=1, max_value=8))
+    return ElasticSpec(
+        events=tuple(draw(st.lists(scale_events(), max_size=4))),
+        policy=policy,
+        policy_params=params,
+        interval_s=draw(st.floats(min_value=1.0, max_value=600.0, allow_nan=False)),
+        cooldown_s=draw(st.floats(min_value=0.0, max_value=600.0, allow_nan=False)),
+        min_workers=min_workers,
+        max_workers=draw(st.one_of(
+            st.none(), st.integers(min_value=min_workers, max_value=256))),
+    )
+
+
+@st.composite
 def scenario_specs(draw):
     scale = draw(st.sampled_from(sorted(SCALES)))
     topology = draw(topology_specs())
+    method = draw(st.sampled_from(sorted(PS_METHODS)))
+    # Elastic membership requires a DDS-based method (spec validation).
+    elastic = NO_ELASTIC
+    if PS_METHODS[method].allocator == "dds":
+        elastic = draw(st.one_of(st.just(NO_ELASTIC), elastic_specs()))
     return ScenarioSpec(
         name=draw(_NAMES),
-        method=draw(st.sampled_from(sorted(PS_METHODS))),
+        method=method,
+        elastic=elastic,
         scale=scale,
         seed=draw(st.integers(min_value=0, max_value=2**31 - 1)),
         description=draw(st.text(max_size=40)),
@@ -135,3 +183,12 @@ def test_custom_scale_pinning_roundtrips(spec):
 @given(scenario=straggler_scenarios())
 def test_straggler_scenario_roundtrips(scenario):
     assert StragglerScenario.from_dict(scenario.to_dict()) == scenario
+
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(elastic=elastic_specs())
+def test_elastic_spec_roundtrips(elastic):
+    assert ElasticSpec.from_dict(elastic.to_dict()) == elastic
+    # And the dict form is genuinely JSON-safe.
+    rebuilt = ElasticSpec.from_dict(json.loads(json.dumps(elastic.to_dict())))
+    assert rebuilt == elastic

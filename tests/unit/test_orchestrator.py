@@ -114,6 +114,40 @@ def test_store_compacts_superseded_records(store):
     assert ResultStore(store.path).get(spec_key(FAST_SPEC)) == {"jct_s": 3.0}
 
 
+def test_store_compact_with_mixed_valid_corrupt_and_duplicate_lines(store):
+    """compact() over a file holding everything at once: live records,
+    superseded duplicates, half-written junk, tampered entries, and blank
+    lines.  Only the live records survive, the rewritten file is fully
+    valid, and nothing readable is lost."""
+    other = ScenarioSpec(name="orc-fast-2", method="bsp", seed=4, iterations=4)
+    store.put(FAST_SPEC, {"jct_s": 1.0})
+    store.put(FAST_SPEC, {"jct_s": 2.0})          # supersedes the first line
+    store.put(other, {"jct_s": 7.0})
+    with open(store.path, "a", encoding="utf-8") as handle:
+        handle.write("\n")                         # blank line
+        handle.write("{truncated write\n")         # not JSON
+        handle.write(json.dumps({"key": "junk"}) + "\n")  # missing fields
+        record = {"key": "0" * 64, "scenario": "tampered",
+                  "spec": FAST_SPEC.to_dict(), "fingerprint": {"jct_s": 9.0},
+                  "digest": "not-a-digest"}
+        handle.write(json.dumps(record) + "\n")    # key+digest mismatch
+    reread = ResultStore(store.path)
+    assert len(reread) == 2
+    assert reread.discarded == 3                   # junk lines, not the blanks
+    assert reread.compact() == 2
+    # The compacted file is minimal and self-consistent: one line per live
+    # key, every line re-validates, nothing readable was dropped.
+    lines = [line for line in store.path.read_text().splitlines() if line]
+    assert len(lines) == 2
+    final = ResultStore(store.path)
+    assert final.get(spec_key(FAST_SPEC)) == {"jct_s": 2.0}
+    assert final.get(spec_key(other)) == {"jct_s": 7.0}
+    assert final.discarded == 0
+    # Compaction is idempotent.
+    assert final.compact() == 2
+    assert store.path.read_text() == "\n".join(lines) + "\n"
+
+
 # ---------------------------------------------------------------------------
 # Sweep runner: cache semantics
 # ---------------------------------------------------------------------------
@@ -305,10 +339,72 @@ def test_expand_validates_axis_values():
         expand(base, methods=())
 
 
+def test_cli_report_disambiguates_duplicate_scenario_names(store, capsys):
+    """Regression: two cached results under one scenario name (the spec was
+    edited between sweeps) must both be reported, distinguishably — not have
+    one silently shadow the other."""
+    from repro.orchestrator.cli import main as cli_main
+
+    store.put(FAST_SPEC, {"jct_s": 1.0, "samples_confirmed": 10})
+    edited = replace(FAST_SPEC, seed=FAST_SPEC.seed + 1)
+    store.put(edited, {"jct_s": 2.0, "samples_confirmed": 20})
+    assert cli_main(["report", "--cache-dir", str(store.path.parent),
+                     "--json"]) == 0
+    fingerprints = json.loads(capsys.readouterr().out)
+    assert len(fingerprints) == 2
+    assert sorted(fp["jct_s"] for fp in fingerprints.values()) == [1.0, 2.0]
+    assert all(label.startswith("orc-fast#") for label in fingerprints)
+
+
+def test_expand_autoscalers_axis_rewrites_elastic_policy():
+    base = get_scenario("dedicated-baseline")
+    variants = expand(base, autoscalers=("utilization", "straggler-pressure"))
+    assert [spec.elastic.policy for spec in variants] == [
+        "utilization", "straggler-pressure"]
+    assert variants[0].name == "dedicated-baseline@autoscaler=utilization"
+    # An elastic base keeps its schedule/cadence but swaps the policy (and
+    # drops parameters that belong to the old policy).
+    elastic_base = get_scenario("elastic-scheduled-capacity")
+    swapped = expand(elastic_base, autoscalers=("utilization",))[0]
+    assert swapped.elastic.policy == "utilization"
+    assert swapped.elastic.policy_params == ()
+    assert swapped.elastic.interval_s == elastic_base.elastic.interval_s
+    kept = expand(elastic_base, autoscalers=("scheduled-capacity",))[0]
+    assert kept.elastic.policy_params == elastic_base.elastic.policy_params
+
+
+def test_expand_drops_unrepresentable_elastic_static_combos():
+    """An elastic base crossed with a static-allocator method is not a
+    scenario that can exist; the grid drops the point instead of failing."""
+    elastic_base = get_scenario("elastic-scale-out")
+    variants = expand(elastic_base, methods=("bsp", "asp", "asp-dds"))
+    assert [spec.method for spec in variants] == ["bsp", "asp-dds"]
+    # Same rule when the autoscaler axis makes a fixed-fleet base elastic.
+    fixed_static = get_scenario("hetero-static-partition")  # method "asp"
+    assert expand(fixed_static, autoscalers=("utilization",)) == []
+
+
+def test_expand_registry_name_uniqueness_under_elastic_axes():
+    """Satellite: the autoscaler axis composes with the classic axes without
+    name or key collisions across the whole registry."""
+    derived = expand_registry(seeds=(0, 1),
+                              autoscalers=("utilization", "straggler-pressure"))
+    # Every DDS-based base takes the full 2x2 product; the one static-method
+    # base (hetero-static-partition) cannot be made elastic and drops out.
+    names = [spec.name for spec in derived]
+    assert len(derived) == (24 - 1) * 4
+    assert len(set(names)) == len(names)
+    assert len({spec_key(spec) for spec in derived}) == len(derived)
+    assert all(spec.elastic.policy in ("utilization", "straggler-pressure")
+               for spec in derived)
+
+
 def test_expand_registry_grows_to_hundreds_of_scenarios():
     derived = expand_registry(methods=("bsp", "asp", "antdt-nd"),
                               seeds=(0, 1, 2, 3))
-    assert len(derived) == 17 * 12
+    # 17 fixed-fleet bases take the full 3x4 product; the 7 elastic bases
+    # drop the static-allocator method ("asp") and take a 2x4 product.
+    assert len(derived) == 17 * 12 + 7 * 8
     names = [spec.name for spec in derived]
     assert len(set(names)) == len(names), "derived names must be collision-free"
     # Derived specs are content-addressable like any other.
