@@ -8,7 +8,7 @@ PYTHONPATH_PREFIX = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 ## Parallel worker processes for orchestrated sweeps (python -m repro).
 JOBS ?= 2
 
-.PHONY: test tier1 fast golden golden-update sweep bench ci
+.PHONY: test tier1 fast golden golden-check golden-update sweep bench ci
 
 ## Full tier-1 suite (what the PR gate runs): unit + integration + property +
 ## golden traces + benchmarks.
@@ -17,7 +17,7 @@ test:
 
 ## Exactly what .github/workflows/ci.yml runs — one local command to know
 ## the gate will pass before pushing.
-ci: test
+ci: test golden-check
 
 ## Only the tests/ tree (skips the benchmark harness).
 tier1:
@@ -30,6 +30,12 @@ fast:
 ## Re-check every registered scenario against its golden trace.
 golden:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest tests/golden -q
+
+## Byte-identity gate (also run in CI): regenerate every golden trace through
+## the parallel orchestrator path and fail on any diff — fingerprint drift
+## can never merge silently.
+golden-check:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro golden-update --check --jobs $(JOBS)
 
 ## Deliberately regenerate the golden traces after an intended behaviour
 ## change — through the parallel orchestrator CLI — then re-verify against

@@ -50,3 +50,46 @@ def test_elastic_sweep_benchmark():
     print(f"  2-proc : {parallel.wall_s:.3f}s ({parallel.stats_line()})")
     for name in sorted(per_scenario):
         print(f"    {name:<32s} {per_scenario[name]*1e3:7.1f}ms")
+
+
+def test_elastic_server_sweep_benchmark():
+    """The server-elastic family: membership + resharding cost tracking.
+
+    Acceptance guard: a 2-process sweep over the server-elastic scenarios is
+    byte-identical to the serial one (the rendezvous shard map hashes with
+    SHA-256, so the assignment — and the resharding fingerprint section — is
+    a pure function of the membership, not of process scheduling).
+    """
+    family = [spec for spec in all_scenarios(tags=("elastic-server",))]
+    assert len(family) >= 4, "the server-elastic scenario family shrank"
+
+    serial = SweepRunner(jobs=1, store=None).run(family)
+    assert not serial.errors and serial.simulated == len(family)
+
+    parallel = SweepRunner(jobs=2, store=None).run(family)
+    assert not parallel.errors
+    assert parallel.fingerprints() == serial.fingerprints()
+
+    reshards = sum(
+        fp.get("elastic", {}).get("resharding", {}).get("total_moved_shards", 0)
+        for fp in serial.fingerprints().values())
+    churn = sum(fp.get("elastic", {}).get("servers", {}).get("joined", 0)
+                + fp.get("elastic", {}).get("servers", {}).get("left", 0)
+                for fp in serial.fingerprints().values())
+
+    reporter = PerfReporter()
+    reporter.add("elastic_server_sweep_serial", wall_s=serial.wall_s,
+                 scenarios=len(family), jobs=1.0,
+                 server_transitions=float(churn),
+                 shards_moved=float(reshards),
+                 simulation_wall_s=serial.simulation_wall_s)
+    reporter.add("elastic_server_sweep_2proc", wall_s=parallel.wall_s,
+                 scenarios=len(family), jobs=2.0,
+                 simulation_wall_s=parallel.simulation_wall_s,
+                 speedup=parallel.speedup)
+    reporter.write()
+
+    print(f"\nElastic server sweep benchmark ({len(family)} scenarios, "
+          f"{churn} server transitions, {reshards} shards moved):")
+    print(f"  serial : {serial.wall_s:.3f}s ({serial.stats_line()})")
+    print(f"  2-proc : {parallel.wall_s:.3f}s ({parallel.stats_line()})")

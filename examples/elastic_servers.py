@@ -1,0 +1,95 @@
+"""Elastic parameter-server walkthrough: grow, drain and re-shard the PS tier.
+
+Demonstrates elastic *server* membership (PR 5) end to end:
+
+1. grow the serving tier under contention: a scheduled server scale-out joins
+   through the cluster scheduler's pending queue, receives its slice of the
+   rendezvous shard map (the migration cost model charges the handoff) and
+   starts absorbing pushes;
+2. retire-and-replace: the contended-server autoscaler detects the
+   persistently contended server — the fault class where only KILL_RESTART
+   used to help — retires it gracefully and requests a healthy replacement
+   while the pending-time forecast allows;
+3. prove exactly-once on both axes across the churn: the Stateful DDS sample
+   ledger (**no sample lost, none double-trained**) and the parameter-shard
+   coverage audit (**every shard owned by exactly one active server**);
+4. show the busy-cluster gate applied to the PS tier: server capacity
+   requested at peak hour never arrives.
+
+Run with::
+
+    python examples/elastic_servers.py
+"""
+
+from repro.elastic import (
+    audit_allocator,
+    verify_exactly_once,
+    verify_shard_coverage,
+)
+from repro.orchestrator import simulate_spec
+from repro.scenarios import get_scenario
+
+
+def _print_server_timeline(sim) -> None:
+    for event in sim.run.server_membership_events:
+        print(f"  t={event.time_s:7.1f}s  {event.kind:<15s} {event.node}")
+    for event in sim.run.reshard_events:
+        print(f"  t={event.time_s:7.1f}s  reshard/{event.kind:<6s} "
+              f"{event.trigger}: {event.moved_shards}/{event.total_shards} "
+              f"shards moved ({event.cost_s:.2f}s handoff)")
+
+
+def grow_under_contention() -> None:
+    sim = simulate_spec(get_scenario("elastic-server-scale-out"),
+                        track_coverage=True)
+    print("== Server scale-out under contention (3 -> 4 servers) ==")
+    _print_server_timeline(sim)
+    print(f"  final shard map: {sim.job.shard_map.shard_counts()}")
+    print(f"  JCT {sim.run.jct:.1f}s, "
+          f"{sim.run.restarts_per_node} restarts per node")
+
+    # Exactly-once on both axes, despite the membership change.
+    ledger = audit_allocator(sim.job.allocator, where="after server join")
+    coverage = verify_exactly_once(sim.job.allocator)
+    shards = verify_shard_coverage(sim.job.shard_map,
+                                   sim.job.active_server_names())
+    print(f"  sample ledger: {ledger.to_dict()}")
+    print(f"  sample coverage: {coverage['missed']} missed, "
+          f"{coverage['duplicated']} duplicated")
+    print(f"  parameter shards: {shards['shards']} shards over "
+          f"{shards['servers']} servers, all exactly-once")
+
+
+def retire_and_replace() -> None:
+    sim = simulate_spec(get_scenario("elastic-server-retire-replace"),
+                        track_coverage=True)
+    print("\n== Contended-server retire-and-replace (autoscaler-driven) ==")
+    _print_server_timeline(sim)
+    actions = [action.describe() for action in sim.run.action_log
+               if "SERVERS" in action.describe()]
+    print(f"  autoscaler actions: {actions}")
+    coverage = verify_exactly_once(sim.job.allocator)
+    verify_shard_coverage(sim.job.shard_map, sim.job.active_server_names())
+    print(f"  JCT {sim.run.jct:.1f}s with the contended server retired; "
+          f"coverage exactly-once ({coverage['missed']} missed, "
+          f"{coverage['duplicated']} duplicated)")
+
+
+def busy_gate() -> None:
+    sim = simulate_spec(get_scenario("elastic-server-busy-gate"))
+    servers = sim.fingerprint["elastic"]["servers"]
+    print("\n== Busy-cluster gate, PS-tier edition ==")
+    _print_server_timeline(sim)
+    print(f"  requested={servers['joined'] + servers['unplaced']} "
+          f"joined={servers['joined']} unplaced={servers['unplaced']} "
+          "(peak-hour pending time exceeded the job's remaining runtime)")
+
+
+def main() -> None:
+    grow_under_contention()
+    retire_and_replace()
+    busy_gate()
+
+
+if __name__ == "__main__":
+    main()

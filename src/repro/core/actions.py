@@ -7,9 +7,12 @@ and executed by the Agents.  They fall into two types:
   applies them in the same iteration: ``ADJUST_BS``, ``BACKUP_WORKERS``,
   ``ADJUST_LR``.
 * **Node actions** affect a single node and need no synchronisation:
-  ``KILL_RESTART``, and the elastic-membership pair ``SCALE_OUT`` /
+  ``KILL_RESTART``, the elastic-membership pair ``SCALE_OUT`` /
   ``SCALE_IN`` (the joining/leaving node synchronises through the data
-  allocator and the barrier, not through an agent broadcast).
+  allocator and the barrier, not through an agent broadcast), and the
+  server-tier variants ``SCALE_OUT_SERVERS`` / ``SCALE_IN_SERVERS``
+  (membership changes of the parameter-server fleet; workers synchronise
+  through the re-partitioned shard map, not through a broadcast).
 
 ``NONE`` is the dummy action a solution returns when no straggler is present.
 """
@@ -30,6 +33,8 @@ __all__ = [
     "AdjustLearningRate",
     "ScaleOut",
     "ScaleIn",
+    "ScaleOutServers",
+    "ScaleInServers",
     "NoneAction",
 ]
 
@@ -51,6 +56,8 @@ class ActionType(enum.Enum):
     ADJUST_LR = "adjust_lr"
     SCALE_OUT = "scale_out"
     SCALE_IN = "scale_in"
+    SCALE_OUT_SERVERS = "scale_out_servers"
+    SCALE_IN_SERVERS = "scale_in_servers"
     NONE = "none"
 
 
@@ -240,6 +247,67 @@ class ScaleIn(Action):
 
     def describe(self) -> str:
         return f"SCALE_IN({', '.join(self.node_names)})"
+
+
+@dataclass(frozen=True)
+class ScaleOutServers(Action):
+    """Elastic-membership action: request ``num_servers`` additional
+    parameter servers.
+
+    The requested pods ride the same scheduling queue as worker scale-out;
+    once placed, a joining server receives its slice of the re-partitioned
+    parameter shard map before it starts serving pushes.
+    """
+
+    num_servers: int = 1
+    reason: str = "server scale out"
+
+    def __post_init__(self) -> None:
+        if self.num_servers <= 0:
+            raise ValueError("SCALE_OUT_SERVERS requires a positive server count")
+
+    @property
+    def action_type(self) -> ActionType:
+        return ActionType.SCALE_OUT_SERVERS
+
+    @property
+    def kind(self) -> ActionKind:
+        return ActionKind.NODE
+
+    def describe(self) -> str:
+        return f"SCALE_OUT_SERVERS(+{self.num_servers})"
+
+
+@dataclass(frozen=True)
+class ScaleInServers(Action):
+    """Elastic-membership action: gracefully retire the named servers.
+
+    A retiring server drains: workers stop routing new pushes to it, its
+    parameter shards are re-partitioned onto the surviving servers (the
+    handoff is charged by the migration cost model), and its queued push
+    requests are re-routed so no worker waits on a dead acknowledgement.
+    """
+
+    node_names: Tuple[str, ...]
+    reason: str = "server scale in"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "node_names", tuple(self.node_names))
+        if not self.node_names:
+            raise ValueError("SCALE_IN_SERVERS requires at least one node name")
+        if len(set(self.node_names)) != len(self.node_names):
+            raise ValueError("SCALE_IN_SERVERS node names must be unique")
+
+    @property
+    def action_type(self) -> ActionType:
+        return ActionType.SCALE_IN_SERVERS
+
+    @property
+    def kind(self) -> ActionKind:
+        return ActionKind.NODE
+
+    def describe(self) -> str:
+        return f"SCALE_IN_SERVERS({', '.join(self.node_names)})"
 
 
 @dataclass(frozen=True)

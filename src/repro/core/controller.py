@@ -23,7 +23,9 @@ from .actions import (
     KillRestart,
     NoneAction,
     ScaleIn,
+    ScaleInServers,
     ScaleOut,
+    ScaleOutServers,
 )
 from .agent import AgentGroup
 from .config import AntDTConfig, ConsistencyModel
@@ -110,6 +112,15 @@ class ActionExecutor(Protocol):
         """Gracefully retire workers; returns the names actually retiring."""
         ...
 
+    def request_server_scale_out(self, count: int, reason: str) -> List[str]:
+        """Request additional parameter servers; returns the names requested."""
+        ...
+
+    def request_server_scale_in(self, node_names: "List[str]",
+                                reason: str) -> List[str]:
+        """Gracefully retire parameter servers; returns the names draining."""
+        ...
+
 
 class Controller:
     """Periodic control loop dispatching straggler-mitigation actions."""
@@ -190,6 +201,13 @@ class Controller:
             return
         if isinstance(action, ScaleIn):
             self.executor.request_scale_in(list(action.node_names), action.reason)
+            return
+        if isinstance(action, ScaleOutServers):
+            self.executor.request_server_scale_out(action.num_servers, action.reason)
+            return
+        if isinstance(action, ScaleInServers):
+            self.executor.request_server_scale_in(list(action.node_names),
+                                                  action.reason)
             return
         raise TypeError(f"unknown action type: {action!r}")
 

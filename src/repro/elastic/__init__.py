@@ -32,25 +32,40 @@ from .allreduce import (
 from .membership import SCALE_IN, MembershipEvent, MembershipLog, ScaleInSignal
 from .policies import (
     POLICIES,
+    SERVER_POLICIES,
     AutoscalerPolicy,
+    ContendedServerPolicy,
     ElasticContext,
     ScheduledCapacityPolicy,
+    ServerQueueDepthPolicy,
     StragglerPressurePolicy,
     UtilizationThresholdPolicy,
     make_policy,
+    make_server_policy,
 )
 from .resharding import (
+    MigrationCostModel,
+    ReshardEvent,
+    ServerShardMap,
     ShardConservationError,
     ShardLedger,
     audit_allocator,
     verify_exactly_once,
+    verify_shard_coverage,
 )
-from .spec import NO_ELASTIC, ElasticSpec, ScaleEvent
+from .spec import (
+    NO_ELASTIC,
+    NO_SERVER_ELASTIC,
+    ElasticSpec,
+    ScaleEvent,
+    ServerElasticSpec,
+)
 
 __all__ = [
     "Autoscaler",
     "AutoscalerConfig",
     "AutoscalerPolicy",
+    "ContendedServerPolicy",
     "ElasticAllReduceJob",
     "ElasticAllReduceResult",
     "ElasticContext",
@@ -60,17 +75,26 @@ __all__ = [
     "MembershipChange",
     "MembershipEvent",
     "MembershipLog",
+    "MigrationCostModel",
     "NO_ELASTIC",
+    "NO_SERVER_ELASTIC",
     "POLICIES",
+    "ReshardEvent",
     "SCALE_IN",
+    "SERVER_POLICIES",
     "ScaleEvent",
     "ScaleInSignal",
     "ScheduledCapacityPolicy",
+    "ServerElasticSpec",
+    "ServerQueueDepthPolicy",
+    "ServerShardMap",
     "ShardConservationError",
     "ShardLedger",
     "StragglerPressurePolicy",
     "UtilizationThresholdPolicy",
     "audit_allocator",
     "make_policy",
+    "make_server_policy",
     "verify_exactly_once",
+    "verify_shard_coverage",
 ]

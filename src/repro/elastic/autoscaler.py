@@ -18,9 +18,9 @@ implements it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Protocol
+from typing import Callable, Dict, List, Optional, Protocol
 
-from ..core.actions import Action, ScaleIn, ScaleOut
+from ..core.actions import Action, ScaleIn, ScaleInServers, ScaleOut, ScaleOutServers
 from ..core.monitor import Monitor
 from ..sim.engine import Environment
 from .policies import AutoscalerPolicy, ElasticContext
@@ -36,6 +36,8 @@ class AutoscalerConfig:
     cooldown_s: float = 0.0
     min_workers: int = 1
     max_workers: Optional[int] = None
+    min_servers: int = 1
+    max_servers: Optional[int] = None
     short_window_s: float = 20.0
     long_window_s: float = 45.0
     slowness_ratio: float = 1.4
@@ -49,6 +51,10 @@ class AutoscalerConfig:
             raise ValueError("min_workers must be at least 1")
         if self.max_workers is not None and self.max_workers < self.min_workers:
             raise ValueError("max_workers must be >= min_workers")
+        if self.min_servers < 1:
+            raise ValueError("min_servers must be at least 1")
+        if self.max_servers is not None and self.max_servers < self.min_servers:
+            raise ValueError("max_servers must be >= min_servers")
 
 
 class ElasticExecutor(Protocol):
@@ -79,6 +85,29 @@ class ElasticExecutor(Protocol):
         """Gracefully retire workers; returns the names actually retiring."""
         ...
 
+    # -- server tier (optional: executors without an elastic PS tier may
+    # simply not implement these; the autoscaler degrades gracefully) -------
+    def active_server_names(self) -> List[str]:
+        """Active (non-draining) servers, ordered by join time."""
+        ...
+
+    def pending_server_count(self) -> int:
+        """Servers requested from the scheduler but not yet placed."""
+        ...
+
+    def server_queue_depths(self) -> Dict[str, int]:
+        """Queued push requests per active server."""
+        ...
+
+    def request_server_scale_out(self, count: int, reason: str) -> List[str]:
+        """Request additional servers; returns the names actually requested."""
+        ...
+
+    def request_server_scale_in(self, node_names: List[str],
+                                reason: str) -> List[str]:
+        """Gracefully retire servers; returns the names actually draining."""
+        ...
+
 
 class Autoscaler:
     """Periodic policy-driven elastic membership control."""
@@ -87,15 +116,20 @@ class Autoscaler:
         self,
         env: Environment,
         monitor: Monitor,
-        policy: AutoscalerPolicy,
+        policy: Optional[AutoscalerPolicy],
         executor: ElasticExecutor,
         config: Optional[AutoscalerConfig] = None,
         busy_provider: Optional[Callable[[], bool]] = None,
         pending_time_provider: Optional[Callable[[], float]] = None,
+        server_policy: Optional[AutoscalerPolicy] = None,
     ) -> None:
+        if policy is None and server_policy is None:
+            raise ValueError("an autoscaler needs a worker policy, a server "
+                             "policy, or both")
         self.env = env
         self.monitor = monitor
         self.policy = policy
+        self.server_policy = server_policy
         self.executor = executor
         self.config = config if config is not None else AutoscalerConfig()
         self._busy_provider = busy_provider
@@ -116,19 +150,33 @@ class Autoscaler:
         busy = bool(self._busy_provider()) if self._busy_provider is not None else False
         pending = float(self._pending_time_provider()) \
             if self._pending_time_provider is not None else 0.0
+        executor = self.executor
+        # The server-tier surface is optional on executors (a worker-only
+        # autoscaler over a static server fleet, or the test stubs): missing
+        # accessors degrade to an empty server membership, which every server
+        # policy treats as "no decision".
+        server_names = getattr(executor, "active_server_names", None)
+        pending_servers = getattr(executor, "pending_server_count", None)
+        queue_depths = getattr(executor, "server_queue_depths", None)
         return ElasticContext(
             now=now,
-            active_workers=self.executor.active_worker_names(),
-            pending_workers=self.executor.pending_worker_count(),
+            active_workers=executor.active_worker_names(),
+            pending_workers=executor.pending_worker_count(),
             min_workers=cfg.min_workers,
             max_workers=cfg.max_workers,
             cluster_busy=busy,
             pending_time_s=pending,
-            remaining_samples=self.executor.remaining_samples(),
+            remaining_samples=executor.remaining_samples(),
             worker_short_bpts=self.monitor.worker_bpt_means(cfg.short_window_s, now),
             worker_long_bpts=self.monitor.worker_bpt_means(cfg.long_window_s, now),
             worker_throughputs=self.monitor.worker_throughputs(cfg.short_window_s, now),
             slowness_ratio=cfg.slowness_ratio,
+            active_servers=list(server_names()) if server_names is not None else [],
+            pending_servers=int(pending_servers()) if pending_servers is not None else 0,
+            min_servers=cfg.min_servers,
+            max_servers=cfg.max_servers,
+            server_queue_depths=dict(queue_depths()) if queue_depths is not None else {},
+            server_long_bpts=self.monitor.server_bpt_means(cfg.long_window_s, now),
         )
 
     # -- dispatch -----------------------------------------------------------------
@@ -145,6 +193,12 @@ class Autoscaler:
         elif isinstance(action, ScaleIn):
             granted = self.executor.request_scale_in(list(action.node_names),
                                                      action.reason)
+        elif isinstance(action, ScaleOutServers):
+            granted = self.executor.request_server_scale_out(action.num_servers,
+                                                             action.reason)
+        elif isinstance(action, ScaleInServers):
+            granted = self.executor.request_server_scale_in(
+                list(action.node_names), action.reason)
         else:
             raise TypeError(f"autoscalers only emit scaling actions, got {action!r}")
         self.granted_log.append(list(granted))
@@ -158,7 +212,11 @@ class Autoscaler:
         if self._in_cooldown():
             return []
         context = self.build_context()
-        actions = self.policy.decide(context)
+        actions: List[Action] = []
+        if self.policy is not None:
+            actions.extend(self.policy.decide(context))
+        if self.server_policy is not None:
+            actions.extend(self.server_policy.decide(context))
         for action in actions:
             self.dispatch(action)
         return actions

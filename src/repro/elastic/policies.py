@@ -15,6 +15,18 @@ non-dedicated-cluster reality:
   the elastic alternative to KILL_RESTART.
 * :class:`ScheduledCapacityPolicy` — a deterministic capacity plan (peak/
   off-peak steps), the "the scheduler frees capacity at 2am" pattern.
+
+The *server* tier has its own policy registry (:data:`SERVER_POLICIES`),
+because a straggling parameter server throttles every worker at once and the
+right levers differ:
+
+* :class:`ServerQueueDepthPolicy` — backlog-driven: grow the serving tier
+  while the mean push-queue depth per server exceeds a threshold (and the
+  cluster can actually deliver a pod), shrink it when the queues run dry.
+* :class:`ContendedServerPolicy` — retire-and-replace: detect a persistently
+  contended server (the one fault class where the paper shows only
+  KILL_RESTART helps) and retire it, requesting a healthy replacement only
+  when the pending-time forecast says it would arrive in time to matter.
 """
 
 from __future__ import annotations
@@ -22,7 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..core.actions import Action, ScaleIn, ScaleOut
+from ..core.actions import Action, ScaleIn, ScaleInServers, ScaleOut, ScaleOutServers
 from ..core.detection import detect_stragglers
 
 __all__ = [
@@ -31,8 +43,12 @@ __all__ = [
     "UtilizationThresholdPolicy",
     "StragglerPressurePolicy",
     "ScheduledCapacityPolicy",
+    "ServerQueueDepthPolicy",
+    "ContendedServerPolicy",
     "POLICIES",
+    "SERVER_POLICIES",
     "make_policy",
+    "make_server_policy",
 ]
 
 
@@ -59,6 +75,14 @@ class ElasticContext:
     worker_long_bpts: Dict[str, float] = field(default_factory=dict)
     worker_throughputs: Dict[str, float] = field(default_factory=dict)
     slowness_ratio: float = 1.4
+    # Server-tier membership and signals (empty/default for worker-only
+    # autoscaling; ``active_servers`` is ordered by join time like workers).
+    active_servers: List[str] = field(default_factory=list)
+    pending_servers: int = 0
+    min_servers: int = 1
+    max_servers: Optional[int] = None
+    server_queue_depths: Dict[str, int] = field(default_factory=dict)
+    server_long_bpts: Dict[str, float] = field(default_factory=dict)
 
     @property
     def committed_workers(self) -> int:
@@ -90,6 +114,30 @@ class ElasticContext:
         if total <= 0:
             return None
         return self.remaining_samples / total
+
+    # -- server tier --------------------------------------------------------------
+    @property
+    def committed_servers(self) -> int:
+        """Active plus pending server membership."""
+        return len(self.active_servers) + self.pending_servers
+
+    @property
+    def server_headroom(self) -> int:
+        """How many more servers may be requested before hitting the cap."""
+        if self.max_servers is None:
+            return 2**31
+        return max(0, self.max_servers - self.committed_servers)
+
+    @property
+    def server_shrinkable(self) -> int:
+        """How many active servers may retire before hitting the floor."""
+        return max(0, len(self.active_servers) - self.min_servers)
+
+    def newest_active_servers(self, count: int) -> List[str]:
+        """The ``count`` most recently joined active servers (LIFO order)."""
+        if count <= 0:
+            return []
+        return list(reversed(self.active_servers[-count:]))
 
 
 class AutoscalerPolicy:
@@ -240,11 +288,113 @@ class ScheduledCapacityPolicy(AutoscalerPolicy):
         return []
 
 
+class ServerQueueDepthPolicy(AutoscalerPolicy):
+    """Scale the serving tier with its push-queue backlog.
+
+    A backed-up server queue is the direct symptom of an undersized (or
+    contended) PS tier: every worker's :math:`T^s_i` grows with it.  The
+    scale-out trigger is the *deepest* queue — a single hot server throttles
+    the whole job even when its siblings idle, so a mean would hide exactly
+    the case that matters — while the scale-in trigger is the *mean*: the
+    tier only shrinks once the backlog has drained everywhere.  Scale-out is
+    additionally gated on the cluster scheduler being idle enough that the
+    pod would arrive in time to help.
+    """
+
+    name = "server-queue-depth"
+
+    def __init__(self, scale_out_depth: float = 4.0,
+                 scale_in_depth: float = 0.25,
+                 step: int = 1) -> None:
+        if scale_out_depth <= scale_in_depth:
+            raise ValueError("scale_out_depth must exceed scale_in_depth")
+        if step <= 0:
+            raise ValueError("step must be positive")
+        self.scale_out_depth = float(scale_out_depth)
+        self.scale_in_depth = float(scale_in_depth)
+        self.step = int(step)
+
+    def decide(self, context: ElasticContext) -> List[Action]:
+        depths = {server: depth
+                  for server, depth in context.server_queue_depths.items()
+                  if server in context.active_servers}
+        if not depths:
+            return []
+        max_depth = max(depths.values())
+        mean_depth = sum(depths.values()) / len(depths)
+        if (max_depth > self.scale_out_depth and not context.cluster_busy
+                and context.server_headroom > 0):
+            return [ScaleOutServers(
+                num_servers=min(self.step, context.server_headroom),
+                reason=f"max queue depth {max_depth} over threshold")]
+        if mean_depth < self.scale_in_depth and context.server_shrinkable > 0:
+            count = min(self.step, context.server_shrinkable)
+            return [ScaleInServers(
+                node_names=tuple(context.newest_active_servers(count)),
+                reason=f"mean queue depth {mean_depth:.2f} under threshold")]
+        return []
+
+
+class ContendedServerPolicy(AutoscalerPolicy):
+    """Retire a persistently contended server and (optionally) replace it.
+
+    Detection reuses the AntDT long-window criterion over per-request server
+    handling times (mean handling ≥ λ · tier mean).  Where KILL_RESTART pays
+    a relaunch to keep the node, this policy removes it from the serving
+    membership entirely — its parameter shards re-partition onto the healthy
+    survivors and its queued pushes re-route.  With ``replace=True`` a
+    healthy replacement pod is requested in the same round, but only when
+    the scheduler's pending-time forecast (``max_pending_s``) says the pod
+    would arrive soon enough to matter — the server-tier analogue of the
+    paper's busy-cluster gate.
+    """
+
+    name = "contended-server"
+
+    def __init__(self, replace: bool = True,
+                 slowness_ratio: Optional[float] = None,
+                 max_pending_s: float = 300.0) -> None:
+        if max_pending_s < 0:
+            raise ValueError("max_pending_s must be non-negative")
+        self.replace = bool(replace)
+        self.slowness_ratio = slowness_ratio
+        self.max_pending_s = float(max_pending_s)
+
+    def decide(self, context: ElasticContext) -> List[Action]:
+        long = {server: bpt for server, bpt in context.server_long_bpts.items()
+                if server in context.active_servers}
+        if len(long) < 2 or context.server_shrinkable <= 0:
+            return []
+        ratio = self.slowness_ratio if self.slowness_ratio is not None \
+            else context.slowness_ratio
+        report = detect_stragglers(long, ratio)
+        if not report.stragglers:
+            return []
+        worst = max(report.stragglers, key=lambda server: (long[server], server))
+        actions: List[Action] = [ScaleInServers(
+            node_names=(worst,), reason="persistent server contention")]
+        if (self.replace and not context.cluster_busy
+                and context.pending_time_s <= self.max_pending_s
+                and context.server_headroom > 0):
+            actions.append(ScaleOutServers(num_servers=1,
+                                           reason="contended-server replacement"))
+        return actions
+
+
 #: Registry of policy factories, keyed by the name used in ``ElasticSpec``.
 POLICIES: Dict[str, Callable[..., AutoscalerPolicy]] = {
     UtilizationThresholdPolicy.name: UtilizationThresholdPolicy,
     StragglerPressurePolicy.name: StragglerPressurePolicy,
     ScheduledCapacityPolicy.name: ScheduledCapacityPolicy,
+}
+
+#: Registry of server-tier policy factories, keyed by the name used in the
+#: ``servers`` section of an ``ElasticSpec``.  Kept separate from
+#: :data:`POLICIES`: a worker policy emits worker actions and would silently
+#: do the wrong thing if wired into the server tier (and vice versa).
+SERVER_POLICIES: Dict[str, Callable[..., AutoscalerPolicy]] = {
+    ServerQueueDepthPolicy.name: ServerQueueDepthPolicy,
+    ContendedServerPolicy.name: ContendedServerPolicy,
 }
 
 
@@ -255,5 +405,17 @@ def make_policy(name: str, **params: object) -> AutoscalerPolicy:
     except KeyError:
         raise KeyError(
             f"unknown autoscaler policy {name!r}; available: {sorted(POLICIES)}"
+        ) from None
+    return factory(**params)
+
+
+def make_server_policy(name: str, **params: object) -> AutoscalerPolicy:
+    """Instantiate a registered server-tier policy by name."""
+    try:
+        factory = SERVER_POLICIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown server autoscaler policy {name!r}; "
+            f"available: {sorted(SERVER_POLICIES)}"
         ) from None
     return factory(**params)

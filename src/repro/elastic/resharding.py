@@ -1,11 +1,13 @@
-"""Sample-conservation auditing across elastic membership changes.
+"""Re-partitioning and conservation auditing across elastic membership changes.
 
 The elastic subsystem's correctness claim is the paper's data-integrity
 guarantee extended to membership churn: *no sample is lost and none is
-double-trained when workers join or leave mid-epoch*.  The Stateful DDS
-already re-shards mechanically — a retiring worker's in-flight shard tail is
-released back to the queue, a joining worker simply starts pulling shards —
-so the proof obligation is an accounting one, and this module states it:
+double-trained when workers join or leave mid-epoch*, and *every parameter
+shard has exactly one owning server* when the PS tier itself grows or
+shrinks.  The Stateful DDS already re-shards data mechanically — a retiring
+worker's in-flight shard tail is released back to the queue, a joining worker
+simply starts pulling shards — so for the data side the proof obligation is
+an accounting one, and this module states it:
 
 * :func:`audit_allocator` snapshots the DDS's
   :meth:`~repro.core.sharding.StatefulDDS.shard_accounting` ledger and raises
@@ -14,12 +16,27 @@ so the proof obligation is an accounting one, and this module states it:
 * :func:`verify_exactly_once` checks the per-sample coverage counters after a
   completed run: every sample confirmed at least once, and *exactly* once
   when nothing (backup-worker drops, failovers) legitimately re-queued work.
+
+The *parameter* side is new with elastic server membership:
+
+* :class:`ServerShardMap` assigns a fixed universe of logical parameter
+  shards to the current server membership with rendezvous (highest-random-
+  weight) hashing, so a join or leave only moves the minimal set of shards —
+  the ones the newcomer wins or the leaver owned — and the assignment is a
+  pure function of the membership (identical across processes and replays).
+* :class:`MigrationCostModel` charges the handoff a membership change causes
+  (the moved fraction of the parameter volume over the wire plus a
+  coordination constant).
+* :func:`verify_shard_coverage` is the parameter-shard analogue of
+  :func:`verify_exactly_once`: every shard owned by exactly one *active*
+  server, no shard orphaned, no shard double-owned.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -28,8 +45,12 @@ from ..core.sharding import DataAllocator, StatefulDDS
 __all__ = [
     "ShardConservationError",
     "ShardLedger",
+    "ServerShardMap",
+    "ReshardEvent",
+    "MigrationCostModel",
     "audit_allocator",
     "verify_exactly_once",
+    "verify_shard_coverage",
 ]
 
 
@@ -61,6 +82,236 @@ class ShardLedger:
             "undispatched": self.undispatched,
             "unpopulated": self.unpopulated,
         }
+
+
+@dataclass(frozen=True)
+class ReshardEvent:
+    """One re-partitioning of the parameter shard map.
+
+    ``kind`` is ``"join"`` (the trigger server entered the membership and
+    won ``moved_shards`` shards from the incumbents) or ``"leave"`` (the
+    trigger server departed and its ``moved_shards`` shards were spread over
+    the survivors).  ``cost_s`` is what the migration cost model charged for
+    the handoff.
+    """
+
+    time_s: float
+    kind: str  # "join" | "leave"
+    trigger: str
+    moved_shards: int
+    total_shards: int
+    cost_s: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("join", "leave"):
+            raise ValueError(f"unknown reshard kind {self.kind!r}")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-safe, fingerprint-embeddable)."""
+        return {
+            "time_s": self.time_s,
+            "kind": self.kind,
+            "trigger": self.trigger,
+            "moved_shards": self.moved_shards,
+            "total_shards": self.total_shards,
+            "cost_s": self.cost_s,
+        }
+
+
+@dataclass(frozen=True)
+class MigrationCostModel:
+    """Wall-clock cost of handing parameter shards between servers.
+
+    A membership change moves ``moved / total`` of the parameter volume
+    (``param_bytes``) over the wire at ``per_byte_cost_s`` plus a fixed
+    rendezvous/coordination constant.  A change that moves nothing (e.g. the
+    last member leaving an audit-only map) costs nothing.
+    """
+
+    param_bytes: float
+    per_byte_cost_s: float = 1e-9
+    base_cost_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.param_bytes < 0:
+            raise ValueError("param_bytes must be non-negative")
+        if self.per_byte_cost_s < 0:
+            raise ValueError("per_byte_cost_s must be non-negative")
+        if self.base_cost_s < 0:
+            raise ValueError("base_cost_s must be non-negative")
+
+    def handoff_time(self, moved_shards: int, total_shards: int) -> float:
+        """Seconds the handoff of ``moved_shards`` of ``total_shards`` takes."""
+        if moved_shards <= 0 or total_shards <= 0:
+            return 0.0
+        fraction = min(1.0, moved_shards / total_shards)
+        return self.base_cost_s + self.param_bytes * fraction * self.per_byte_cost_s
+
+
+class ServerShardMap:
+    """Rendezvous-hashed assignment of parameter shards to servers.
+
+    The model's parameters are cut into ``num_shards`` logical shards; each
+    shard is owned by the member with the highest stable hash score for it
+    (highest random weight).  The scheme's point is *minimal disruption*:
+    adding a member moves exactly the shards the newcomer wins, removing one
+    moves exactly the shards it owned — every other (shard, owner) pair is
+    untouched.  Scores come from SHA-256, so the assignment is a pure
+    function of the membership: byte-identical across processes, replays and
+    the serial/parallel sweep paths.
+    """
+
+    def __init__(self, members: Iterable[str] = (), num_shards: int = 64) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self.num_shards = int(num_shards)
+        self._members: List[str] = []
+        self._owners: Dict[int, Optional[str]] = {
+            shard: None for shard in range(self.num_shards)}
+        for member in members:
+            self.add_member(member)
+
+    @staticmethod
+    def _score(member: str, shard: int) -> int:
+        digest = hashlib.sha256(f"{member}|{shard}".encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    @property
+    def members(self) -> List[str]:
+        """Current members, in join order."""
+        return list(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self._members
+
+    def owner_of(self, shard: int) -> Optional[str]:
+        """The member owning ``shard`` (None only on an empty map)."""
+        try:
+            return self._owners[shard]
+        except KeyError:
+            raise KeyError(f"shard {shard} is outside [0, {self.num_shards})") from None
+
+    def assignment(self) -> Dict[str, List[int]]:
+        """Member -> sorted owned shard ids (members without shards included)."""
+        owned: Dict[str, List[int]] = {member: [] for member in self._members}
+        for shard in range(self.num_shards):
+            owner = self._owners[shard]
+            if owner is not None:
+                owned[owner].append(shard)
+        return owned
+
+    def shard_counts(self) -> Dict[str, int]:
+        """Member -> number of owned shards."""
+        return {member: len(shards) for member, shards in self.assignment().items()}
+
+    def preview_add(self, member: str) -> int:
+        """How many shards ``member`` would win if it joined now (no mutation).
+
+        Lets a caller price the handoff *before* committing the membership
+        change — a join that is abandoned mid-handoff (the job completed)
+        must leave the map untouched, or the coverage audit would see shards
+        owned by a server that never joined.
+        """
+        if member in self._members:
+            raise ValueError(f"member {member!r} is already in the shard map")
+        score = self._score
+        count = 0
+        for shard in range(self.num_shards):
+            incumbent = self._owners[shard]
+            if incumbent is None or (
+                    (score(member, shard), member)
+                    > (score(incumbent, shard), incumbent)):
+                count += 1
+        return count
+
+    def add_member(self, member: str) -> List[int]:
+        """Join ``member``; returns the shard ids it won (sorted).
+
+        Rendezvous hashing guarantees the returned shards are the *only*
+        ownership changes: every other shard keeps its previous owner.
+        """
+        if member in self._members:
+            raise ValueError(f"member {member!r} is already in the shard map")
+        self._members.append(member)
+        moved: List[int] = []
+        score = self._score
+        for shard in range(self.num_shards):
+            incumbent = self._owners[shard]
+            if incumbent is None or (
+                    (score(member, shard), member)
+                    > (score(incumbent, shard), incumbent)):
+                self._owners[shard] = member
+                moved.append(shard)
+        return moved
+
+    def remove_member(self, member: str) -> List[int]:
+        """Retire ``member``; returns the shard ids handed to survivors (sorted).
+
+        With no survivors the map empties (audit-only state); the returned
+        list is then the member's former shards, now unowned.
+        """
+        if member not in self._members:
+            raise ValueError(f"member {member!r} is not in the shard map")
+        self._members.remove(member)
+        moved: List[int] = []
+        score = self._score
+        for shard in range(self.num_shards):
+            if self._owners[shard] != member:
+                continue
+            moved.append(shard)
+            if self._members:
+                self._owners[shard] = max(
+                    self._members,
+                    key=lambda candidate: (score(candidate, shard), candidate))
+            else:
+                self._owners[shard] = None
+        return moved
+
+    def digest(self) -> str:
+        """Stable short digest of the full assignment (fingerprint material)."""
+        hasher = hashlib.sha256()
+        for shard in range(self.num_shards):
+            owner = self._owners[shard] or ""
+            hasher.update(f"{shard}={owner};".encode("utf-8"))
+        return hasher.hexdigest()[:16]
+
+
+def verify_shard_coverage(shard_map: ServerShardMap,
+                          active_servers: Iterable[str]) -> Dict[str, int]:
+    """Check the parameter-shard analogue of exactly-once: full, unique coverage.
+
+    Every shard must be owned, every owner must be a member of the map *and*
+    an active server — a shard owned by a departed or never-joined server is
+    as lost as an orphaned one.  Returns summary counts; raises
+    :class:`ShardConservationError` on any violation.
+    """
+    active = set(active_servers)
+    orphaned: List[int] = []
+    misowned: List[Tuple[int, str]] = []
+    for shard in range(shard_map.num_shards):
+        owner = shard_map.owner_of(shard)
+        if owner is None:
+            orphaned.append(shard)
+        elif owner not in active or owner not in shard_map:
+            misowned.append((shard, owner))
+    if orphaned:
+        raise ShardConservationError(
+            f"{len(orphaned)} parameter shard(s) have no owning server: "
+            f"{orphaned[:8]}")
+    if misowned:
+        raise ShardConservationError(
+            f"{len(misowned)} parameter shard(s) are owned by inactive servers: "
+            f"{misowned[:8]}")
+    counts = shard_map.shard_counts()
+    return {
+        "shards": shard_map.num_shards,
+        "servers": len(counts),
+        "min_per_server": min(counts.values()) if counts else 0,
+        "max_per_server": max(counts.values()) if counts else 0,
+    }
 
 
 def audit_allocator(allocator: DataAllocator, where: str = "") -> Optional[ShardLedger]:

@@ -18,7 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Tuple
 
-__all__ = ["ScaleEvent", "ElasticSpec", "NO_ELASTIC"]
+__all__ = ["ScaleEvent", "ServerElasticSpec", "ElasticSpec", "NO_ELASTIC",
+           "NO_SERVER_ELASTIC"]
 
 #: Valid directions of a scheduled scale event.
 _DIRECTIONS = ("out", "in")
@@ -85,6 +86,87 @@ class ScaleEvent:
 
 
 @dataclass(frozen=True)
+class ServerElasticSpec:
+    """Elastic-membership knobs of the parameter-server tier.
+
+    Attributes
+    ----------
+    events:
+        Deterministic server scale-out/scale-in schedule (reuses
+        :class:`ScaleEvent`; a scale-in without explicit ``nodes`` retires
+        the most recently joined active servers, LIFO).
+    policy:
+        Server autoscaler policy name from
+        :data:`repro.elastic.policies.SERVER_POLICIES` (``None`` disables the
+        server-side autoscaler; the decision cadence is the enclosing
+        :class:`ElasticSpec`'s ``interval_s`` / ``cooldown_s``).
+    policy_params:
+        JSON-safe ``(name, value)`` pairs forwarded to the policy factory.
+    min_servers / max_servers:
+        Hard membership bounds of the server tier (``min_servers`` never
+        drops below 1 — BSP training requires a serving tier).
+    """
+
+    events: Tuple[ScaleEvent, ...] = ()
+    policy: Optional[str] = None
+    policy_params: Tuple[Tuple[str, object], ...] = ()
+    min_servers: int = 1
+    max_servers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        object.__setattr__(
+            self, "policy_params",
+            tuple((str(key), _json_normalize(value))
+                  for key, value in self.policy_params))
+        if self.min_servers < 1:
+            raise ValueError("min_servers must be at least 1")
+        if self.max_servers is not None and self.max_servers < self.min_servers:
+            raise ValueError("max_servers must be >= min_servers")
+        if self.policy is not None:
+            # Same eager validation (and the same lazy import, for the same
+            # reason) as ElasticSpec's worker policy.
+            from .policies import SERVER_POLICIES
+
+            if self.policy not in SERVER_POLICIES:
+                raise ValueError(
+                    f"unknown server autoscaler policy {self.policy!r}; "
+                    f"available: {sorted(SERVER_POLICIES)}")
+        if self.policy is None and self.policy_params:
+            raise ValueError("policy_params given without a policy")
+
+    def __bool__(self) -> bool:
+        return bool(self.events) or self.policy is not None
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-safe); inverse of :meth:`from_dict`."""
+        return {
+            "events": [event.to_dict() for event in self.events],
+            "policy": self.policy,
+            "policy_params": [[key, value] for key, value in self.policy_params],
+            "min_servers": self.min_servers,
+            "max_servers": self.max_servers,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ServerElasticSpec":
+        """Rebuild a spec from :meth:`to_dict` output (lossless)."""
+        return cls(
+            events=tuple(ScaleEvent.from_dict(event)
+                         for event in data.get("events", ())),
+            policy=data.get("policy"),
+            policy_params=tuple(
+                (key, value) for key, value in data.get("policy_params", ())),
+            min_servers=data.get("min_servers", 1),
+            max_servers=data.get("max_servers"),
+        )
+
+
+#: The inert server-tier default: no schedule, no autoscaler (falsy).
+NO_SERVER_ELASTIC = ServerElasticSpec()
+
+
+@dataclass(frozen=True)
 class ElasticSpec:
     """Elastic-scaling knobs of a scenario.
 
@@ -105,6 +187,13 @@ class ElasticSpec:
     min_workers / max_workers:
         Hard membership bounds the job enforces regardless of who asks
         (``max_workers=None`` leaves scale-out unbounded).
+    servers:
+        Elastic membership of the parameter-server tier
+        (:class:`ServerElasticSpec`).  Defaults to the inert
+        :data:`NO_SERVER_ELASTIC`; a default-valued section is omitted from
+        the dict/JSON form entirely, so every pre-existing spec keeps its
+        canonical bytes — and therefore its content-addressed result-store
+        key — unchanged.
     """
 
     events: Tuple[ScaleEvent, ...] = ()
@@ -114,6 +203,7 @@ class ElasticSpec:
     cooldown_s: float = 0.0
     min_workers: int = 1
     max_workers: Optional[int] = None
+    servers: ServerElasticSpec = NO_SERVER_ELASTIC
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "events", tuple(self.events))
@@ -144,11 +234,17 @@ class ElasticSpec:
             raise ValueError("policy_params given without a policy")
 
     def __bool__(self) -> bool:
-        return bool(self.events) or self.policy is not None
+        return bool(self.events) or self.policy is not None or bool(self.servers)
 
     def to_dict(self) -> Dict[str, object]:
-        """Plain-dict form (JSON-safe); inverse of :meth:`from_dict`."""
-        return {
+        """Plain-dict form (JSON-safe); inverse of :meth:`from_dict`.
+
+        The ``servers`` section is included only when it differs from the
+        default: the canonical JSON of every pre-PR-5 spec — and with it
+        every golden fingerprint and every content-addressed result-store
+        key — must stay byte-identical.
+        """
+        data: Dict[str, object] = {
             "events": [event.to_dict() for event in self.events],
             "policy": self.policy,
             "policy_params": [[key, value] for key, value in self.policy_params],
@@ -157,6 +253,9 @@ class ElasticSpec:
             "min_workers": self.min_workers,
             "max_workers": self.max_workers,
         }
+        if self.servers != NO_SERVER_ELASTIC:
+            data["servers"] = self.servers.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "ElasticSpec":
@@ -171,6 +270,7 @@ class ElasticSpec:
             cooldown_s=data.get("cooldown_s", 0.0),
             min_workers=data.get("min_workers", 1),
             max_workers=data.get("max_workers"),
+            servers=ServerElasticSpec.from_dict(data.get("servers", {})),
         )
 
 

@@ -9,8 +9,9 @@ Subcommands
     result-store key.
 ``sweep``
     Run a scenario sweep — registry subsets by name or tag, optionally
-    grid-expanded across methods / seeds / scales / cluster sizes /
-    autoscaler policies — in parallel, with content-addressed result caching.
+    grid-expanded across methods / seeds / scales / cluster sizes / worker-
+    and server-tier autoscaler policies — in parallel, with content-addressed
+    result caching.
 ``report``
     Print a per-scenario summary table straight from the cached result store,
     without building or running a single simulation.
@@ -161,6 +162,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         axes["workers"] = args.workers
     if args.autoscalers:
         axes["autoscalers"] = args.autoscalers
+    if args.server_autoscalers:
+        axes["server_autoscalers"] = args.server_autoscalers
     if axes:
         specs = expand_registry(specs, **axes)
         print(f"expanded to {len(specs)} derived scenario(s)", file=sys.stderr)
@@ -304,6 +307,9 @@ def build_parser() -> argparse.ArgumentParser:
                               help="grid axis: cluster worker counts")
     sweep_parser.add_argument("--autoscalers", nargs="+", metavar="POLICY",
                               help="grid axis: elastic autoscaler policies "
+                                   "(requires DDS-based base scenarios)")
+    sweep_parser.add_argument("--server-autoscalers", nargs="+", metavar="POLICY",
+                              help="grid axis: server-tier autoscaler policies "
                                    "(requires DDS-based base scenarios)")
     sweep_parser.add_argument("--json", action="store_true",
                               help="emit fingerprints as JSON instead of a table")

@@ -29,15 +29,17 @@ def expand(base: ScenarioSpec,
            seeds: Optional[Sequence[int]] = None,
            scales: Optional[Sequence[str]] = None,
            workers: Optional[Sequence[int]] = None,
-           autoscalers: Optional[Sequence[str]] = None) -> List[ScenarioSpec]:
+           autoscalers: Optional[Sequence[str]] = None,
+           server_autoscalers: Optional[Sequence[str]] = None) -> List[ScenarioSpec]:
     """Every variant of ``base`` across the given axes (Cartesian product).
 
     Each provided axis replaces the corresponding spec field; ``workers``
     rewrites ``topology.num_workers`` (the scale resolution then re-derives
-    server counts and shard layout for the new cluster size), and
-    ``autoscalers`` rewrites ``elastic.policy`` (keeping the base's schedule,
-    cadence and bounds; a base without elastic behaviour gets a default
-    :class:`~repro.elastic.spec.ElasticSpec` carrying just the policy).
+    server counts and shard layout for the new cluster size), ``autoscalers``
+    rewrites ``elastic.policy`` (keeping the base's schedule, cadence and
+    bounds; a base without elastic behaviour gets a default
+    :class:`~repro.elastic.spec.ElasticSpec` carrying just the policy), and
+    ``server_autoscalers`` rewrites ``elastic.servers.policy`` the same way.
     Omitted axes keep the base value.  With no axes at all, the base spec
     itself is returned unchanged — ``expand`` composes transparently with
     plain sweeps.
@@ -65,6 +67,9 @@ def expand(base: ScenarioSpec,
         axes.append(("workers", [int(count) for count in workers]))
     if autoscalers is not None:
         axes.append(("autoscaler", [str(policy) for policy in autoscalers]))
+    if server_autoscalers is not None:
+        axes.append(("server_autoscaler",
+                     [str(policy) for policy in server_autoscalers]))
     for axis, values in axes:
         if not values:
             raise ValueError(f"axis {axis!r} must list at least one value")
@@ -75,7 +80,8 @@ def expand(base: ScenarioSpec,
         changes = dict(zip((axis for axis, _ in axes), combo))
         suffix = ",".join(f"{axis}={value}" for axis, value in changes.items())
         method = changes.get("method", base.method)
-        elastic_variant = base.elastic or "autoscaler" in changes
+        elastic_variant = (base.elastic or "autoscaler" in changes
+                           or "server_autoscaler" in changes)
         if (elastic_variant and method in PS_METHODS
                 and PS_METHODS[method].allocator != "dds"):
             # This grid point is unrepresentable (elastic membership needs
@@ -93,6 +99,17 @@ def expand(base: ScenarioSpec,
                 elastic, policy=policy,
                 policy_params=elastic.policy_params
                 if elastic.policy == policy else ())
+        server_policy = changes.pop("server_autoscaler", None)
+        if server_policy is not None:
+            elastic = changes.get(
+                "elastic", base.elastic if base.elastic else ElasticSpec())
+            servers = elastic.servers
+            changes["elastic"] = replace(
+                elastic,
+                servers=replace(
+                    servers, policy=server_policy,
+                    policy_params=servers.policy_params
+                    if servers.policy == server_policy else ()))
         variants.append(replace(base, name=f"{base.name}@{suffix}", **changes))
     return variants
 

@@ -27,6 +27,7 @@ from ..elastic.membership import (
     MembershipEvent,
     MembershipLog,
 )
+from ..elastic.resharding import MigrationCostModel, ReshardEvent, ServerShardMap
 from ..sim.cluster import Cluster, Node, NodeRole, NodeStatus
 from ..sim.engine import Environment
 from ..sim.failures import ErrorCode, NodeFailure
@@ -38,7 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 from .backend import ComputeBackend, SyntheticBackend
 from .barrier import BSPBarrier
 from .config import PSJobConfig
-from .server import ParameterServer
+from .server import ParameterServer, PushRequest
 from .worker import PSWorker
 
 __all__ = ["PSRunResult", "PSTrainingJob"]
@@ -66,6 +67,12 @@ class PSRunResult:
     monitor: Optional[Monitor] = None
     # Elastic membership transitions (empty for fixed-fleet runs).
     membership_events: List[MembershipEvent] = field(default_factory=list)
+    # Elastic *server* membership transitions and the parameter-shard
+    # re-partitionings they caused (both empty for fixed-server-fleet runs).
+    server_membership_events: List[MembershipEvent] = field(default_factory=list)
+    reshard_events: List[ReshardEvent] = field(default_factory=list)
+    # Final parameter-shard assignment digest (None for server-less jobs).
+    shard_map_digest: Optional[str] = None
     # Engine counters for the perf subsystem (events over the whole run).
     engine_events_scheduled: int = 0
     engine_events_processed: int = 0
@@ -128,18 +135,7 @@ class PSTrainingJob:
         self.servers: List[ParameterServer] = []
         for node in cluster.servers:
             agent = self.agent_group.create_agent(node.name, is_worker=False)
-            self.servers.append(
-                ParameterServer(
-                    env=env,
-                    node=node,
-                    agent=agent,
-                    config=config,
-                    scheduler=self.scheduler,
-                    metrics=self.metrics,
-                    delay_fraction_provider=self._server_delay_fraction,
-                    report_stride_provider=self.active_worker_count,
-                )
-            )
+            self.servers.append(self._make_server(node, agent))
 
         initial_batch = max(1, config.global_batch_size // max(1, cluster.num_workers))
         self.workers: List[PSWorker] = []
@@ -202,6 +198,28 @@ class PSTrainingJob:
         # the min-workers floor must discount them explicitly or two
         # same-instant scale-in requests could breach it.
         self._draining_workers: set = set()
+
+        # Elastic *server* membership: the serving tier can grow and shrink
+        # at runtime too.  A rendezvous shard map partitions the model's
+        # logical parameter shards over the current membership, re-partitions
+        # minimally on every join/leave, and the migration cost model charges
+        # the handoff; workers route each iteration's pushes per the current
+        # (non-draining) target list.  Server transitions live in their own
+        # membership log so fixed-server-fleet fingerprints stay untouched.
+        self.server_membership = MembershipLog()
+        self.elastic_min_servers = 1
+        self.elastic_max_servers: Optional[int] = None
+        self._server_template = cluster.servers[0].spec if cluster.servers else None
+        self._next_server_index = cluster.num_servers
+        self._pending_server_count = 0
+        self._draining_servers: set = set()
+        self._push_targets: Optional[List[ParameterServer]] = None
+        self.shard_map = ServerShardMap(
+            members=[node.name for node in cluster.servers])
+        self.reshard_log: List[ReshardEvent] = []
+        self._migration_model = MigrationCostModel(
+            param_bytes=config.model.gradient_bytes,
+            per_byte_cost_s=config.server_per_byte_cost_s)
 
         # The active-worker count sits on the per-push-request hot path (every
         # server consults it for delay amortisation and report strides), so it
@@ -285,8 +303,10 @@ class PSTrainingJob:
         return count
 
     def active_server_names(self) -> List[str]:
-        """Servers that are currently running."""
-        return [server.name for server in self.servers if server.node.is_running]
+        """Servers that are currently serving (running and not draining)."""
+        draining = self._draining_servers
+        return [server.name for server in self.servers
+                if server.node.is_running and server.name not in draining]
 
     def request_kill_restart(self, node_name: str, reason: str = "") -> bool:
         """Kill and relaunch a worker or server node."""
@@ -469,6 +489,226 @@ class PSTrainingJob:
         self.metrics.log_event(now, "worker_left", name)
         self.worker_exited(name)
 
+    # -- elastic server membership ---------------------------------------------------
+    def _make_server(self, node: Node, agent) -> ParameterServer:
+        """Construct one server process wired to this job's elastic surface."""
+        return ParameterServer(
+            env=self.env,
+            node=node,
+            agent=agent,
+            config=self.config,
+            scheduler=self.scheduler,
+            metrics=self.metrics,
+            delay_fraction_provider=self._server_delay_fraction,
+            report_stride_provider=self.active_worker_count,
+            requeue_filter=self._worker_requeue_ok,
+            drain_handler=self.server_departed,
+        )
+
+    def _worker_requeue_ok(self, worker_name: str) -> bool:
+        """Whether a server may requeue/re-route a push of this worker.
+
+        False for draining and departed workers: their queued pushes were
+        purged by the scale-in drain, and a server restart (or a sibling
+        server's drain) must not resurrect them.
+        """
+        return (worker_name not in self._draining_workers
+                and worker_name in self.cluster)
+
+    def push_targets(self) -> List[ParameterServer]:
+        """The servers workers route their pushes to (cached).
+
+        Draining servers are excluded the instant their retirement is
+        granted; restarting servers stay listed (their queue drains to the
+        relaunched pod).  For a fixed fleet this is simply every server.
+        """
+        targets = self._push_targets
+        if targets is None:
+            draining = self._draining_servers
+            targets = self._push_targets = [
+                server for server in self.servers if server.name not in draining]
+        return targets
+
+    def configure_elastic_servers(self, min_servers: int = 1,
+                                  max_servers: Optional[int] = None) -> None:
+        """Set the hard membership bounds of the parameter-server tier."""
+        if min_servers < 1:
+            raise ValueError("min_servers must be at least 1")
+        if max_servers is not None and max_servers < min_servers:
+            raise ValueError("max_servers must be >= min_servers")
+        self.elastic_min_servers = min_servers
+        self.elastic_max_servers = max_servers
+
+    def pending_server_count(self) -> int:
+        """Servers requested from the scheduler but not yet placed."""
+        return self._pending_server_count
+
+    def server_queue_depths(self) -> Dict[str, int]:
+        """Queued push requests per active (non-draining) server."""
+        return {server.name: len(server.queue.items)
+                for server in self.push_targets() if server.node.is_running}
+
+    def default_server_scale_in_targets(self, count: int) -> List[str]:
+        """The ``count`` most recently joined active servers (LIFO order)."""
+        if count <= 0:
+            return []
+        active = self.active_server_names()
+        return list(reversed(active[-count:]))
+
+    def _next_server_name(self) -> str:
+        name = f"server-{self._next_server_index}"
+        while self.cluster.is_known(name):
+            self._next_server_index += 1
+            name = f"server-{self._next_server_index}"
+        self._next_server_index += 1
+        return name
+
+    def _record_reshard(self, kind: str, trigger: str,
+                        moved: List[int], cost_s: float) -> None:
+        event = ReshardEvent(
+            time_s=self.env.now, kind=kind, trigger=trigger,
+            moved_shards=len(moved), total_shards=self.shard_map.num_shards,
+            cost_s=cost_s)
+        self.reshard_log.append(event)
+        self.metrics.log_event(self.env.now, "reshard", trigger,
+                               f"{kind}:{len(moved)} shards")
+
+    def request_server_scale_out(self, count: int,
+                                 reason: str = "server scale out") -> List[str]:
+        """Request ``count`` additional parameter servers from the scheduler.
+
+        Mirrors :meth:`request_scale_out`: each requested node enters the
+        membership as PENDING and rides the scheduler's pending-time queue —
+        on a busy cluster the serving capacity arrives late or never.
+        Requests beyond ``elastic_max_servers`` (active plus pending) are
+        refused.  Jobs without a server tier (pure AllReduce substrates)
+        refuse outright.  Returns the node names actually requested.
+        """
+        if self._server_template is None:
+            return []
+        granted: List[str] = []
+        for _ in range(max(0, int(count))):
+            # Membership-based cap: restarting servers still count (they will
+            # return), draining ones no longer do.
+            committed = len(self.push_targets()) + self._pending_server_count
+            if (self.elastic_max_servers is not None
+                    and committed >= self.elastic_max_servers):
+                break
+            template = self._server_template
+            spec = replace(template, name=self._next_server_name(),
+                           contention=template.post_restart_contention)
+            node = self.cluster.add_node(spec)
+            self._pending_server_count += 1
+            now = self.env.now
+            self.metrics.log_event(now, "server_scale_out_requested", node.name, reason)
+            self.server_membership.record(now, JOIN_REQUESTED, node.name)
+            self.env.process(self._provision_server(node))
+            granted.append(node.name)
+        return granted
+
+    def _provision_server(self, node: Node):
+        """Simulation process: ride the scheduling queue, receive the shard
+        slice, then start serving."""
+        yield from self.scheduler.provision(node)
+        self._pending_server_count -= 1
+        now = self.env.now
+        if self.completed:
+            # The job finished while the pod sat in the scheduling queue.
+            node.mark_finished()
+            self.metrics.log_event(now, "join_after_completion", node.name)
+            return
+        # The shard map re-partitions on the join; the newcomer must receive
+        # its parameter shards from the incumbents before it can serve, so
+        # the migration cost is paid on the joining path.  The map itself is
+        # only mutated once the handoff completed: a join abandoned mid-
+        # handoff (the job finished first) must leave no ghost owner behind,
+        # or the coverage audit would flag shards owned by a server that
+        # never joined.
+        would_move = self.shard_map.preview_add(node.name)
+        cost = self._migration_model.handoff_time(would_move,
+                                                  self.shard_map.num_shards)
+        if cost > 0:
+            yield self.env.timeout(cost)
+        if self.completed:
+            node.mark_finished()
+            self.metrics.log_event(self.env.now, "join_after_completion", node.name)
+            return
+        moved = self.shard_map.add_member(node.name)
+        self._record_reshard("join", node.name, moved, cost)
+        agent = self.agent_group.create_agent(node.name, is_worker=False)
+        server = self._make_server(node, agent)
+        self.servers.append(server)
+        self._push_targets = None
+        joined_at = self.env.now
+        self.server_membership.record(joined_at, JOINED, node.name)
+        self.metrics.log_event(joined_at, "server_joined", node.name)
+        server.start()
+
+    def request_server_scale_in(self, node_names: List[str],
+                                reason: str = "server scale in") -> List[str]:
+        """Gracefully retire the named servers (elastic scale-in).
+
+        A request is refused for unknown names, workers, servers already
+        restarting or retiring, and whenever retiring would push the active
+        serving membership below ``elastic_min_servers`` (draining servers
+        are already discounted from the active set, so two same-instant
+        requests cannot breach the floor).  A granted retirement removes the
+        server from the push-target list immediately: subsequent worker
+        pushes route to the survivors per the re-partitioned shard map.
+        Returns the names whose drain actually started.
+        """
+        retiring: List[str] = []
+        for name in node_names:
+            # Membership-based floor: a restarting server still counts (it
+            # will return and keep serving), a draining one no longer does —
+            # so two same-instant retirements cannot breach the floor.
+            if len(self.push_targets()) <= self.elastic_min_servers:
+                break
+            server = next((candidate for candidate in self.servers
+                           if candidate.name == name), None)
+            if server is None:
+                continue
+            if server.request_scale_in():
+                self._draining_servers.add(name)
+                self._push_targets = None
+                self.metrics.log_event(self.env.now, "server_scale_in_requested",
+                                       name, reason)
+                retiring.append(name)
+        return retiring
+
+    def server_departed(self, server: ParameterServer,
+                        leftover: List["PushRequest"]):
+        """Simulation sub-process finishing a server's graceful drain.
+
+        Runs inside the retiring server's process: the shard map
+        re-partitions (survivors receive the leaver's parameter shards; the
+        handoff time is charged before the departure completes), the
+        leaver's unacknowledged push requests are re-routed round-robin to
+        the surviving servers — except those of draining/departed workers,
+        which stay purged — and the node leaves the membership for good.
+        """
+        name = server.name
+        moved = self.shard_map.remove_member(name)
+        cost = self._migration_model.handoff_time(len(moved),
+                                                  self.shard_map.num_shards)
+        self._record_reshard("leave", name, moved, cost)
+        if cost > 0:
+            yield self.env.timeout(cost)
+        self._draining_servers.discard(name)
+        if server in self.servers:
+            self.servers.remove(server)
+        self._push_targets = None
+        survivors = self.push_targets()
+        rerouted = [request for request in leftover
+                    if not request.done.triggered
+                    and self._worker_requeue_ok(request.worker)]
+        for index, request in enumerate(rerouted):
+            survivors[index % len(survivors)].queue.push(request)
+        self.cluster.remove_node(name)
+        now = self.env.now
+        self.server_membership.record(now, LEFT, name)
+        self.metrics.log_event(now, "server_left", name, f"rerouted {len(rerouted)}")
+
     def set_backup_workers(self, num_backup: int) -> None:
         """Configure the number of slowest gradients dropped per iteration."""
         self.config.backup_workers = num_backup
@@ -545,6 +785,9 @@ class PSTrainingJob:
             metrics=self.metrics,
             monitor=self.monitor,
             membership_events=self.membership.events,
+            server_membership_events=self.server_membership.events,
+            reshard_events=list(self.reshard_log),
+            shard_map_digest=self.shard_map.digest() if self.servers else None,
             engine_events_scheduled=self.env.scheduled_count,
             engine_events_processed=self.env.processed_count,
         )

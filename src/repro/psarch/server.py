@@ -9,9 +9,10 @@ straggler) takes longer per request, so its queue backs up and every worker's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 from ..core.agent import Agent
+from ..elastic.membership import SCALE_IN
 from ..sim.cluster import Node
 from ..sim.engine import CountdownEvent, Environment, Event, Interrupt, Store
 from ..sim.failures import ErrorCode
@@ -45,6 +46,8 @@ class ParameterServer:
         metrics: MetricsRecorder,
         delay_fraction_provider: Callable[[], float],
         report_stride_provider: Optional[Callable[[], int]] = None,
+        requeue_filter: Optional[Callable[[str], bool]] = None,
+        drain_handler: Optional[Callable[["ParameterServer", List[PushRequest]], object]] = None,
     ) -> None:
         self.env = env
         self.node = node
@@ -56,10 +59,19 @@ class ParameterServer:
         self.metrics = metrics
         self._delay_fraction_provider = delay_fraction_provider
         self._report_stride_provider = report_stride_provider
+        # Whether a worker's in-flight request may be requeued on a restart:
+        # the job vetoes requeues for draining/departed workers, otherwise a
+        # kill-restart racing an elastic scale-in drain resurrects a push
+        # that ``discard_requests_from`` already purged.
+        self._requeue_filter = requeue_filter
+        # Elastic retirement: receives (server, leftover requests) as a
+        # simulation sub-process and completes the departure.
+        self._drain_handler = drain_handler
         self.queue: Store = env.store()
         self.requests_handled = 0
         self.process = None
         self._restart_requested = False
+        self._scale_in_requested = False
         # Cached series handle: one append per handled request otherwise pays
         # a recorder key lookup each.
         self._bpt_series = metrics.series("server_bpt", tag=self.name)
@@ -115,10 +127,31 @@ class ParameterServer:
         """
         if not self.node.is_running or self.process is None or not self.process.is_alive:
             return False
-        if self._restart_requested:
+        if self._restart_requested or self._scale_in_requested:
             return False
         self._restart_requested = True
         self.process.interrupt(code)
+        return True
+
+    def request_scale_in(self) -> bool:
+        """Gracefully retire this server (elastic scale-in).
+
+        Returns False when the server cannot drain right now: it is already
+        restarting, already retiring, its process finished, or no drain
+        handler was wired (a fixed-fleet job).  A granted request interrupts
+        the serving loop with the :data:`SCALE_IN` sentinel; the drain hands
+        every unacknowledged request — queued and in-flight — to the job,
+        which re-partitions the parameter shards and re-routes the requests
+        to the surviving servers.
+        """
+        if self._drain_handler is None:
+            return False
+        if not self.node.is_running or self.process is None or not self.process.is_alive:
+            return False
+        if self._restart_requested or self._scale_in_requested:
+            return False
+        self._scale_in_requested = True
+        self.process.interrupt(SCALE_IN)
         return True
 
     # -- simulation process -----------------------------------------------------------
@@ -171,21 +204,41 @@ class ParameterServer:
                     self.agent.report_server_request(handling, env.now)
                 current = None
             except Interrupt as interrupt:
-                # KILL_RESTART (or injected failure): requeue any in-flight or
-                # half-delivered request so no worker waits forever, then
-                # relaunch the pod.
                 cause = interrupt.cause
-                code = cause if isinstance(cause, ErrorCode) else ErrorCode.PROACTIVE_KILL
+                # Reclaim the in-flight and half-delivered requests first —
+                # both the relaunch and the drain need them.
+                undelivered: List[PushRequest] = []
                 if get_event is not None:
                     still_pending = self.queue.cancel(get_event)
                     if not still_pending and get_event.triggered:
                         delivered = get_event.value
                         if isinstance(delivered, PushRequest) and not delivered.done.triggered:
-                            self.queue.put_left(delivered)
+                            undelivered.append(delivered)
                     get_event = None
                 if current is not None and not current.done.triggered:
-                    self.queue.put_left(current)
+                    undelivered.append(current)
                     current = None
+                if cause is SCALE_IN:
+                    # Graceful retirement: hand every unacknowledged request
+                    # (in-flight and queued) to the job, which re-partitions
+                    # the parameter shards and re-routes the requests to the
+                    # surviving servers, then leave the simulation for good.
+                    undelivered.extend(self.queue.items)
+                    self.queue.items.clear()
+                    yield from self._drain_handler(self, undelivered)
+                    return
+                # KILL_RESTART (or injected failure): requeue any in-flight
+                # or half-delivered request so no worker waits forever, then
+                # relaunch the pod.  Requests of draining/departed workers
+                # are NOT requeued: ``discard_requests_from`` purged them for
+                # good, and resurrecting one here would burn handling time on
+                # a gradient nobody confirms and count down an abandoned
+                # latch (the kill-restart-races-scale-in bug).
+                code = cause if isinstance(cause, ErrorCode) else ErrorCode.PROACTIVE_KILL
+                requeue_filter = self._requeue_filter
+                for request in reversed(undelivered):
+                    if requeue_filter is None or requeue_filter(request.worker):
+                        self.queue.put_left(request)
                 yield from self.scheduler.relaunch(self.node, code)
                 yield self.env.timeout(self.config.server_recovery_time_s)
                 self.agent.reset_after_restart()

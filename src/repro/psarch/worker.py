@@ -215,7 +215,7 @@ class PSWorker:
         agent = self.agent
         job = self.job
         backend = self.backend
-        servers = self.servers
+        push_targets = job.push_targets
         name = self.name
         config = self.config
         timeout = env.timeout
@@ -276,14 +276,20 @@ class PSWorker:
                 # (static) link, so one transfer-time evaluation covers both.
                 push_time = pull_time = self.node.network.transfer_time(grad_bytes)
                 yield timeout(self._compute_time(gathered) + push_time)
-                per_server = grad_bytes / max(1, len(servers))
-                if servers:
+                # The push targets are read *after* the compute sleep, in the
+                # same synchronous block as the submits: a server retiring
+                # elastically mid-compute is already gone from the list, so a
+                # push is never addressed to a draining server.  For a fixed
+                # fleet this is the full (cached) server list.
+                targets = push_targets()
+                if targets:
+                    per_server = grad_bytes / len(targets)
                     # One countdown latch per iteration instead of a private
                     # ack event per server plus an AllOf: the same fan-in
-                    # point with one heap event instead of len(servers) + 1.
-                    acks = CountdownEvent(env, len(servers))
+                    # point with one heap event instead of len(targets) + 1.
+                    acks = CountdownEvent(env, len(targets))
                     self._pending_acks = acks
-                    for server in servers:
+                    for server in targets:
                         server.submit(name, per_server, acks)
                     yield acks
                     self._pending_acks = None

@@ -96,20 +96,43 @@ def fingerprint(spec: "ScenarioSpec", result: "PSRunResult",
         "failures": failures,
         "workers": workers,
     }
-    if result.membership_events:
+    if result.membership_events or result.server_membership_events:
         # Elastic membership churn is part of the pinned behaviour.  The key
         # is added only when churn occurred, so every fixed-fleet trace stays
         # byte-identical to its pre-elastic form.
-        counts = {"join_requested": 0, "joined": 0, "left": 0}
-        events = []
-        for event in result.membership_events:
-            counts[event.kind] = counts.get(event.kind, 0) + 1
-            events.append({"time_s": _round(event.time_s), "event": event.kind,
-                           "node": event.node})
-        payload["elastic"] = {
-            "events": events,
-            "joined": counts["joined"],
-            "left": counts["left"],
-            "unplaced": counts["join_requested"] - counts["joined"],
+        payload["elastic"] = _membership_section(result.membership_events)
+    if result.server_membership_events:
+        # Server-tier churn and the shard re-partitionings it caused.  Both
+        # sub-keys appear only when the serving membership actually changed,
+        # so every pre-existing trace — fixed-fleet and worker-elastic alike
+        # — keeps its exact bytes.
+        payload["elastic"]["servers"] = _membership_section(
+            result.server_membership_events)
+        payload["elastic"]["resharding"] = {
+            "events": [
+                {"time_s": _round(event.time_s), "kind": event.kind,
+                 "trigger": event.trigger, "moved_shards": event.moved_shards,
+                 "cost_s": _round(event.cost_s)}
+                for event in result.reshard_events
+            ],
+            "total_moved_shards": sum(event.moved_shards
+                                      for event in result.reshard_events),
+            "shard_map_digest": result.shard_map_digest,
         }
     return payload
+
+
+def _membership_section(membership_events) -> Dict[str, object]:
+    """Serialize one tier's membership-event list (worker or server)."""
+    counts = {"join_requested": 0, "joined": 0, "left": 0}
+    events = []
+    for event in membership_events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+        events.append({"time_s": _round(event.time_s), "event": event.kind,
+                       "node": event.node})
+    return {
+        "events": events,
+        "joined": counts["joined"],
+        "left": counts["left"],
+        "unplaced": counts["join_requested"] - counts["joined"],
+    }

@@ -19,7 +19,7 @@ import numpy as np
 
 from ..baselines.registry import get_method
 from ..elastic.autoscaler import Autoscaler, AutoscalerConfig
-from ..elastic.policies import make_policy
+from ..elastic.policies import make_policy, make_server_policy
 from ..elastic.spec import ElasticSpec, ScaleEvent
 from ..experiments.runner import PSExperiment
 from ..psarch.backend import ComputeBackend
@@ -135,24 +135,62 @@ def _scale_event_process(job: PSTrainingJob, events: Sequence[ScaleEvent]):
                 f"granted {len(granted)}/{event.count}")
 
 
+def _server_scale_event_process(job: PSTrainingJob, events: Sequence[ScaleEvent]):
+    """Simulation process replaying a deterministic *server* scale schedule.
+
+    The server-tier mirror of :func:`_scale_event_process`: a scale-in
+    without explicit node names retires the most recently joined active
+    servers (LIFO), and refused requests are logged as ``scale_skipped``.
+    """
+    env = job.env
+    for event in sorted(events, key=lambda item: item.time_s):
+        delay = event.time_s - env.now
+        if delay > 0:
+            yield env.timeout(delay)
+        if job.completed:
+            return
+        if event.action == "out":
+            granted = job.request_server_scale_out(event.count,
+                                                   reason="elastic-schedule")
+        else:
+            targets = (list(event.nodes) if event.nodes
+                       else job.default_server_scale_in_targets(event.count))
+            granted = job.request_server_scale_in(targets,
+                                                  reason="elastic-schedule")
+        if len(granted) < event.count:
+            job.metrics.log_event(
+                env.now, "scale_skipped", f"server_scale_{event.action}",
+                f"granted {len(granted)}/{event.count}")
+
+
 def _arm_elastic(job: PSTrainingJob, spec: ScenarioSpec) -> None:
     """Wire a spec's elastic behaviour onto a built job."""
     elastic: ElasticSpec = spec.elastic
+    servers = elastic.servers
     job.configure_elastic(min_workers=elastic.min_workers,
                           max_workers=elastic.max_workers)
-    if elastic.policy is not None:
-        policy = make_policy(elastic.policy, **dict(elastic.policy_params))
+    job.configure_elastic_servers(min_servers=servers.min_servers,
+                                  max_servers=servers.max_servers)
+    if elastic.policy is not None or servers.policy is not None:
+        policy = (make_policy(elastic.policy, **dict(elastic.policy_params))
+                  if elastic.policy is not None else None)
+        server_policy = (
+            make_server_policy(servers.policy, **dict(servers.policy_params))
+            if servers.policy is not None else None)
         antdt = job.antdt_config
         autoscaler = Autoscaler(
             env=job.env,
             monitor=job.monitor,
             policy=policy,
+            server_policy=server_policy,
             executor=job,
             config=AutoscalerConfig(
                 interval_s=elastic.interval_s,
                 cooldown_s=elastic.cooldown_s,
                 min_workers=elastic.min_workers,
                 max_workers=elastic.max_workers,
+                min_servers=servers.min_servers,
+                max_servers=servers.max_servers,
                 short_window_s=antdt.transient_window_s,
                 long_window_s=antdt.persistent_window_s,
                 slowness_ratio=antdt.slowness_ratio,
@@ -163,6 +201,8 @@ def _arm_elastic(job: PSTrainingJob, spec: ScenarioSpec) -> None:
         job.attach_autoscaler(autoscaler)
     if elastic.events:
         job.env.process(_scale_event_process(job, elastic.events))
+    if servers.events:
+        job.env.process(_server_scale_event_process(job, servers.events))
 
 
 def build_scenario_job(spec: ScenarioSpec, **overrides: object

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from ..elastic.spec import ElasticSpec, ScaleEvent
+from ..elastic.spec import ElasticSpec, ScaleEvent, ServerElasticSpec
 from ..experiments.stragglers import (
     NO_STRAGGLERS,
     StragglerScenario,
@@ -368,6 +368,94 @@ register_scenario(ScenarioSpec(
                 "estimated time-to-finish exceeds its horizon and retires "
                 "the newest workers as the backlog drains.",
     tags=("non-dedicated", "elastic", "asp"),
+))
+
+# -- elastic server membership ----------------------------------------------
+register_scenario(ScenarioSpec(
+    name="elastic-server-scale-out",
+    method="antdt-nd",
+    seed=20,
+    topology=TopologySpec(dedicated=False),
+    stragglers=server_scenario(0.8),
+    elastic=ElasticSpec(servers=ServerElasticSpec(events=(
+        ScaleEvent(time_s=30.0, action="out", count=1),
+    ))),
+    description="One extra parameter server requested while a contended "
+                "server throttles the job: the newcomer receives its slice "
+                "of the rendezvous shard map and workers spread subsequent "
+                "pushes over the grown tier.",
+    tags=("non-dedicated", "elastic", "elastic-server", "server"),
+))
+
+register_scenario(ScenarioSpec(
+    name="elastic-server-retire-replace",
+    method="antdt-nd",
+    seed=21,
+    topology=TopologySpec(dedicated=False),
+    stragglers=server_scenario(0.8),
+    elastic=ElasticSpec(
+        interval_s=25.0, cooldown_s=50.0,
+        servers=ServerElasticSpec(policy="contended-server",
+                                  policy_params=(("replace", True),),
+                                  max_servers=5)),
+    description="The contended-server autoscaler retires the persistently "
+                "contended server — the one fault class where only "
+                "KILL_RESTART used to help — and requests a healthy "
+                "replacement while the pending-time forecast allows it.",
+    tags=("non-dedicated", "elastic", "elastic-server", "server"),
+))
+
+register_scenario(ScenarioSpec(
+    name="elastic-server-churn",
+    method="bsp",
+    seed=22,
+    topology=TopologySpec(dedicated=False),
+    stragglers=worker_scenario(0.5, include_persistent=False),
+    elastic=ElasticSpec(
+        events=(ScaleEvent(time_s=20.0, action="out", count=2),
+                ScaleEvent(time_s=70.0, action="in", count=2)),
+        servers=ServerElasticSpec(events=(
+            ScaleEvent(time_s=35.0, action="out", count=1),
+            ScaleEvent(time_s=90.0, action="in", count=1),
+        ))),
+    description="Worker churn and server churn combined mid-epoch: the DDS "
+                "requeue, the barrier membership and the parameter shard map "
+                "all re-partition while shard accounting stays balanced.",
+    tags=("non-dedicated", "elastic", "elastic-server", "churn"),
+))
+
+register_scenario(ScenarioSpec(
+    name="elastic-server-busy-gate",
+    method="antdt-nd",
+    seed=23,
+    topology=TopologySpec(dedicated=False, cluster_busy=True),
+    stragglers=server_scenario(0.8),
+    elastic=ElasticSpec(servers=ServerElasticSpec(events=(
+        ScaleEvent(time_s=30.0, action="out", count=1),
+    ))),
+    description="Server capacity requested at peak hour: the scheduler's "
+                "pending time exceeds the job's remaining runtime, so the "
+                "serving tier never actually grows (the busy-cluster gate "
+                "applied to the PS tier).",
+    tags=("non-dedicated", "elastic", "elastic-server", "busy"),
+))
+
+register_scenario(ScenarioSpec(
+    name="elastic-server-queue-autoscale",
+    method="asp-dds",
+    seed=24,
+    topology=TopologySpec(dedicated=False),
+    stragglers=server_scenario(0.8),
+    elastic=ElasticSpec(
+        interval_s=20.0, cooldown_s=40.0,
+        servers=ServerElasticSpec(policy="server-queue-depth",
+                                  policy_params=(("scale_out_depth", 2.0),
+                                                 ("scale_in_depth", 0.25)),
+                                  max_servers=5)),
+    description="The server-queue-depth autoscaler grows the serving tier "
+                "while push queues back up behind a contended server and "
+                "shrinks it once the backlog drains, under ASP training.",
+    tags=("non-dedicated", "elastic", "elastic-server", "asp"),
 ))
 
 # -- scale ------------------------------------------------------------------

@@ -12,7 +12,13 @@ import json
 from hypothesis import given, settings, strategies as st
 
 from repro.baselines.registry import PS_METHODS
-from repro.elastic.spec import NO_ELASTIC, ElasticSpec, ScaleEvent
+from repro.elastic.spec import (
+    NO_ELASTIC,
+    NO_SERVER_ELASTIC,
+    ElasticSpec,
+    ScaleEvent,
+    ServerElasticSpec,
+)
 from repro.experiments.stragglers import StragglerScenario
 from repro.experiments.workloads import SCALES
 from repro.scenarios import (
@@ -85,6 +91,27 @@ def scale_events(draw):
 
 
 @st.composite
+def server_elastic_specs(draw):
+    policy = draw(st.sampled_from(
+        [None, "server-queue-depth", "contended-server"]))
+    params = ()
+    if policy == "contended-server" and draw(st.booleans()):
+        params = (("replace", draw(st.booleans())),)
+    elif policy == "server-queue-depth" and draw(st.booleans()):
+        params = (("scale_out_depth", draw(st.floats(
+            min_value=1.0, max_value=64.0, allow_nan=False))),)
+    min_servers = draw(st.integers(min_value=1, max_value=4))
+    return ServerElasticSpec(
+        events=tuple(draw(st.lists(scale_events(), max_size=3))),
+        policy=policy,
+        policy_params=params,
+        min_servers=min_servers,
+        max_servers=draw(st.one_of(
+            st.none(), st.integers(min_value=min_servers, max_value=64))),
+    )
+
+
+@st.composite
 def elastic_specs(draw):
     policy = draw(st.sampled_from(
         [None, "utilization", "straggler-pressure", "scheduled-capacity"]))
@@ -108,6 +135,8 @@ def elastic_specs(draw):
         min_workers=min_workers,
         max_workers=draw(st.one_of(
             st.none(), st.integers(min_value=min_workers, max_value=256))),
+        servers=draw(st.one_of(st.just(NO_SERVER_ELASTIC),
+                               server_elastic_specs())),
     )
 
 
@@ -192,3 +221,24 @@ def test_elastic_spec_roundtrips(elastic):
     # And the dict form is genuinely JSON-safe.
     rebuilt = ElasticSpec.from_dict(json.loads(json.dumps(elastic.to_dict())))
     assert rebuilt == elastic
+
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(servers=server_elastic_specs())
+def test_server_elastic_spec_roundtrips(servers):
+    assert ServerElasticSpec.from_dict(servers.to_dict()) == servers
+    rebuilt = ServerElasticSpec.from_dict(
+        json.loads(json.dumps(servers.to_dict())))
+    assert rebuilt == servers
+
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(elastic=elastic_specs())
+def test_default_servers_section_is_omitted_from_canonical_form(elastic):
+    """Spec-hash backward compatibility: a default server section must leave
+    the dict form (and therefore the content-addressed key) untouched."""
+    data = elastic.to_dict()
+    if elastic.servers == NO_SERVER_ELASTIC:
+        assert "servers" not in data
+    else:
+        assert "servers" in data
