@@ -8,7 +8,7 @@ PYTHONPATH_PREFIX = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 ## Parallel worker processes for orchestrated sweeps (python -m repro).
 JOBS ?= 2
 
-.PHONY: test tier1 fast golden golden-check golden-update sweep bench ci
+.PHONY: test tier1 fast golden golden-check golden-update sweep bench bench-smoke ci
 
 ## Full tier-1 suite (what the PR gate runs): unit + integration + property +
 ## golden traces + benchmarks.
@@ -52,3 +52,10 @@ sweep:
 ## Regenerate BENCH_engine.json (perf trajectory file).
 bench:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/test_perf_smoke.py benchmarks/test_perf_scale_sweep.py -q -s
+
+## Perf floor (run in CI): the smoke benchmarks assert absolute events/sec
+## floors and wall-clock budgets sized for slow shared runners — a real
+## engine regression (accidental O(n^2), coalescing disabled, GC storm)
+## fails the gate; normal CI noise does not.
+bench-smoke:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/test_perf_smoke.py -q -s

@@ -96,3 +96,40 @@ def test_perf_scale_sweep():
     # rate, not merely finish.
     assert rows[-1]["nd_events"] > 10 * rows[0]["nd_events"]
     assert rows[-1]["nd_events_per_sec"] > 20_000.0
+
+
+#: The 1000-worker point gets its own budget: it processes several million
+#: logical events and lands around 8 s on a development machine; anything in
+#: the tens of seconds on CI is still healthy, minutes is a regression.
+ND_1000W_BUDGET_S = 60.0
+
+
+def test_perf_scale_sweep_1000w():
+    """A 1000-worker ND run completes in single-digit seconds (generous CI budget).
+
+    This is the cohort-coalescing + array-backed-state headline scale: every
+    iteration's push fan-out commits closed-form against the columnar server
+    state instead of waking a generator per request, so the logical event
+    count (~5M) dwarfs the physical heap traffic.
+    """
+    num_workers = 1000
+    scale = ExperimentScale.for_workers(num_workers)
+    watch = Stopwatch()
+    with watch:
+        nd = run_ps_experiment("antdt-nd", scale=scale,
+                               scenario=worker_scenario(0.8), seed=0)
+    wall = watch.elapsed
+    assert nd.completed, "ND run at 1000 workers did not complete"
+    assert wall < ND_1000W_BUDGET_S, (
+        f"ND run at 1000 workers took {wall:.1f}s (budget {ND_1000W_BUDGET_S}s)")
+    events = nd.engine_events_processed
+    eps = events / wall if wall > 0 else float("inf")
+    assert eps > 100_000.0
+
+    reporter = PerfReporter()
+    reporter.add("sweep_nd_1000w", wall_s=wall, events_processed=float(events),
+                 events_per_sec=eps, num_workers=float(num_workers),
+                 sim_time=nd.jct, jct_s=nd.jct)
+    reporter.write()
+    print(f"\nsweep_nd_1000w: wall={wall:.3f}s events={events} "
+          f"({eps:,.0f} ev/s) jct={nd.jct:.1f}s")

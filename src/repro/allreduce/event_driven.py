@@ -1,0 +1,213 @@
+"""Event-driven AllReduce training on the discrete-event engine.
+
+The closed-form :class:`~repro.allreduce.job.AllReduceJob` answers "how long
+does this run take" instantly, but it has no clock — membership changes can
+only be replayed phase by phase outside any simulation
+(:class:`~repro.elastic.allreduce.ElasticAllReduceJob`).  This module puts the
+same job *on* the :class:`~repro.sim.engine.Environment`, which makes it
+composable with everything else that lives there (failure injectors,
+schedulers, mixed PS+AllReduce scenarios) while staying exactly as cheap:
+
+* **Array-backed group state.**  Device groups are columnar
+  (:class:`GroupStateArrays`): per-phase sync period and samples-per-sync are
+  vectorized reductions, and a membership change is an array update — the
+  AllReduce twin of the job-owned worker/server state arrays in
+  :mod:`repro.psarch`.
+* **Quiescent-window fast-forward.**  Within a constant-membership phase the
+  synchronisations are a deterministic periodic stream, so they run as one
+  :class:`~repro.sim.engine.PeriodicTask`: with coalescing enabled the engine
+  folds the whole phase into a single closed-form clock advance; with
+  ``Environment(coalesce=False)`` every sync is stepped as its own heap event
+  and produces bit-identical results.
+
+The result mirrors :class:`~repro.elastic.allreduce.ElasticAllReduceResult`
+field for field, and the unit tests pin exact (bitwise) agreement of the
+event-driven run against the closed-form replay.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..elastic.allreduce import (ElasticAllReduceResult, ElasticPhase,
+                                 MembershipChange)
+from ..sim.engine import Environment, PeriodicTask
+from ..sim.network import ring_allreduce_time
+from .job import AllReduceJob
+from .strategies import DeviceAssignment
+
+__all__ = ["GroupStateArrays", "EventDrivenAllReduceJob"]
+
+
+class GroupStateArrays:
+    """Columnar per-group state of an event-driven AllReduce job.
+
+    One slot per device group.  The per-sync aggregates the driver needs —
+    the synchronisation period (slowest group's compute) and the global
+    samples per sync — are vectorized reductions over these arrays, and an
+    elastic membership change touches only the ``counts`` column.
+    """
+
+    _FIELDS = ("counts", "compute_s", "device_samples")
+
+    def __init__(self, capacity: int = 0) -> None:
+        capacity = max(int(capacity), 1)
+        #: Devices currently in the group (0 = group absent this phase).
+        self.counts = np.zeros(capacity, dtype=np.int64)
+        #: Per-sync compute time of one device of the group (micro-batch
+        #: time x gradient accumulation) — fixed by the assignment.
+        self.compute_s = np.zeros(capacity, dtype=np.float64)
+        #: Samples one device contributes per sync — fixed by the assignment.
+        self.device_samples = np.zeros(capacity, dtype=np.int64)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def allocate_slot(self) -> int:
+        """Claim the next slot (growing the arrays when full); returns its index."""
+        slot = self._size
+        capacity = len(self.counts)
+        if slot >= capacity:
+            grown = max(capacity * 2, slot + 1)
+            for name in self._FIELDS:
+                array = getattr(self, name)
+                extended = np.zeros(grown, dtype=array.dtype)
+                extended[:capacity] = array
+                setattr(self, name, extended)
+        self._size = slot + 1
+        return slot
+
+    def num_devices(self) -> int:
+        """Devices across every present group."""
+        return int(self.counts[:self._size].sum())
+
+    def sync_compute_s(self) -> float:
+        """Slowest present group's per-sync compute (the BSP straggler)."""
+        size = self._size
+        counts = self.counts[:size]
+        present = counts > 0
+        return float(self.compute_s[:size][present].max())
+
+    def samples_per_sync(self) -> int:
+        """Samples the whole fleet trains per synchronisation."""
+        size = self._size
+        return int((self.counts[:size] * self.device_samples[:size]).sum())
+
+
+class EventDrivenAllReduceJob:
+    """Run an :class:`AllReduceJob` on the discrete-event engine, elastically.
+
+    Constant-membership phases execute as a periodic synchronisation stream
+    (one tick per AllReduce sync); membership changes land at phase
+    boundaries, charge their rendezvous cost on the simulation clock, and
+    update the columnar group state.  Semantics — phase boundaries, sync
+    counts, sample caps — match :class:`ElasticAllReduceJob` exactly, and the
+    completion time agrees bitwise.
+    """
+
+    def __init__(self, job: AllReduceJob, env: Optional[Environment] = None) -> None:
+        self.job = job
+        self.env = env if env is not None else Environment()
+
+    def run(self, assignments: Sequence[DeviceAssignment],
+            changes: Sequence[MembershipChange] = (),
+            strategy: str = "elastic-event") -> ElasticAllReduceResult:
+        """Simulate the job on the environment's clock; see the class docstring."""
+        job = self.job
+        env = self.env
+        thresholds = [change.after_samples for change in changes]
+        if thresholds != sorted(set(thresholds)):
+            raise ValueError(
+                "membership changes must be ordered by strictly increasing "
+                "after_samples")
+        by_group = {assignment.group: assignment for assignment in assignments}
+        missing = {group.name for group in job.groups} - set(by_group)
+        if missing:
+            raise ValueError(f"assignments missing for groups: {sorted(missing)}")
+
+        # Columnar group state; the assignment-derived columns are fixed for
+        # the whole run, membership changes only move counts.
+        state = GroupStateArrays(len(job.groups))
+        slots: Dict[str, int] = {}
+        for group in job.groups:
+            assignment = by_group[group.name]
+            limit = group.device.memory_limit_batch
+            if limit is not None and assignment.batch_size > limit:
+                raise ValueError(
+                    f"assignment for {group.name} ({assignment.batch_size}) exceeds "
+                    f"the memory limit {limit} (OOM)")
+            slot = slots[group.name] = state.allocate_slot()
+            state.counts[slot] = group.count
+            micro = group.device.batch_time(assignment.batch_size, job.model.compute_cost)
+            state.compute_s[slot] = micro * assignment.accumulation
+            state.device_samples[slot] = assignment.samples_per_sync
+
+        total = job.workload.total_samples
+        phases: List[ElasticPhase] = []
+        trained = 0
+        rendezvous_total = 0.0
+        pending = list(changes)
+        start_time = env.now
+        synced = [0]
+
+        def on_tick(_when: float) -> None:
+            synced[0] += 1
+
+        def on_fold(n: int, _last_when: float) -> None:
+            synced[0] += n
+
+        while trained < total:
+            horizon = min(pending[0].after_samples, total) if pending else total
+            quota = horizon - trained
+            per_sync = state.samples_per_sync()
+            period = (state.sync_compute_s()
+                      + ring_allreduce_time(job.model.num_parameters,
+                                            state.num_devices(), job.network)
+                      + job.sync_overhead_s)
+            syncs = max(1, math.ceil(quota / per_sync))
+            # The phase is a pure periodic sync stream: with coalescing on
+            # the engine folds it into one clock advance, with it off every
+            # sync pops individually — identical state either way.
+            synced[0] = 0
+            task = PeriodicTask(env, period, on_tick, on_fold,
+                                first_at=env.now + period)
+            env.run(until=env.now + syncs * period)
+            task.stop()
+            if synced[0] != syncs:
+                raise RuntimeError(
+                    f"phase desynchronised: {synced[0]} ticks for {syncs} syncs")
+            samples = min(syncs * per_sync, quota)
+            phases.append(ElasticPhase(
+                group_counts={name: int(state.counts[slot])
+                              for name, slot in slots.items()},
+                num_syncs=syncs,
+                sync_period_s=period,
+                samples_per_sync=per_sync,
+                duration_s=syncs * period,
+                samples_trained=samples,
+            ))
+            trained += samples
+            if pending and trained >= pending[0].after_samples:
+                change = pending.pop(0)
+                for name, count in change.group_counts.items():
+                    slot = slots.get(name)
+                    if slot is None:
+                        raise ValueError(f"membership change names unknown group {name!r}")
+                    state.counts[slot] = count
+                if state.num_devices() == 0:
+                    raise ValueError("membership change removed every device group")
+                if change.rendezvous_cost_s > 0:
+                    # The rendezvous is dead time on the clock: the world is
+                    # being rebuilt, no syncs run.
+                    env.run(until=env.now + change.rendezvous_cost_s)
+                rendezvous_total += change.rendezvous_cost_s
+        return ElasticAllReduceResult(
+            phases=phases,
+            job_completion_time_s=env.now - start_time,
+            rendezvous_total_s=rendezvous_total,
+            samples_trained=trained,
+        )

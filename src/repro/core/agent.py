@@ -167,6 +167,23 @@ class Agent:
         """Server-side convenience: report per-request handling time."""
         return self.report_iteration(handling_time, 1, time)
 
+    def snapshot_report_state(self) -> Tuple[List[float], int, int]:
+        """Capture the buffered reporting state for a coalesced commit.
+
+        A server that eagerly commits a window of future report decisions
+        snapshots this state first, so a rescinded window can be rewound
+        with :meth:`restore_report_state` and replayed.
+        """
+        return (list(self._bpt_buffer), self._iterations_since_report,
+                self._last_batch_size)
+
+    def restore_report_state(self, state: Tuple[List[float], int, int]) -> None:
+        """Rewind the buffered reporting state to a prior snapshot."""
+        buffer, since_report, last_batch = state
+        self._bpt_buffer = list(buffer)
+        self._iterations_since_report = since_report
+        self._last_batch_size = last_batch
+
     # -- action path ---------------------------------------------------------------------
     def poll(self) -> Tuple[List[Action], float]:
         """Fetch actions broadcast since this agent last applied one.

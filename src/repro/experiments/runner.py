@@ -9,6 +9,7 @@ components and job, runs the simulation, and returns the
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Union
 
@@ -61,10 +62,19 @@ class PSExperiment:
     # recorded here; the scenario subsystem reads the history back into the
     # run fingerprint.
     failure_injector: Optional[FailureInjector] = None
+    # Escape hatch for the engine's cohort coalescing (None = on unless the
+    # REPRO_NO_COALESCE environment variable is set).  Both modes produce
+    # byte-identical traces — pinned by the golden suite and the registry-wide
+    # equivalence property test — so this exists for debugging and for
+    # verifying that equivalence, not for correctness.
+    coalesce: Optional[bool] = None
 
     def build_job(self) -> PSTrainingJob:
         """Assemble the simulation environment and the training job."""
-        env = Environment()
+        coalesce = self.coalesce
+        if coalesce is None:
+            coalesce = not os.environ.get("REPRO_NO_COALESCE")
+        env = Environment(coalesce=coalesce)
         cluster = make_cpu_cluster(self.scale, seed=self.seed, dedicated=self.dedicated)
         apply_scenario(cluster, self.scenario, self.scale, seed=self.seed)
 
@@ -140,6 +150,7 @@ def run_ps_experiment(
     evaluate_after_run: bool = False,
     epochs: Optional[int] = None,
     failure_injector: Optional[FailureInjector] = None,
+    coalesce: Optional[bool] = None,
 ) -> PSRunResult:
     """Convenience wrapper: run one PS training experiment and return its result."""
     spec = get_method(method) if isinstance(method, str) else method
@@ -155,5 +166,6 @@ def run_ps_experiment(
         evaluate_after_run=evaluate_after_run,
         epochs=epochs,
         failure_injector=failure_injector,
+        coalesce=coalesce,
     )
     return experiment.run()

@@ -31,9 +31,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from ..scenarios.matrix import ScenarioMatrix
 from ..scenarios.registry import get_scenario
@@ -113,6 +114,35 @@ def _print_report(report: SweepReport, as_json: bool) -> None:
             print(outcome.traceback, file=sys.stderr)
 
 
+def _profiling_requested(args: argparse.Namespace) -> bool:
+    if getattr(args, "profile", False):
+        return True
+    return os.environ.get("REPRO_PROFILE", "") not in ("", "0")
+
+
+def _run_profiled(work: Callable[[], "SweepReport"]) -> "SweepReport":
+    """Run ``work`` under cProfile and print the top-20 cumulative entries.
+
+    The table goes to stderr so ``--json`` output stays machine-parseable.
+    Profiling covers the in-process sweep only; with ``--jobs`` > 1 the child
+    processes' simulation time shows up as pool-wait frames, so profile with
+    a single job for actionable numbers.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return work()
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative")
+        print("\n--- profile (top 20 by cumulative time) ---", file=sys.stderr)
+        stats.print_stats(20)
+
+
 # ---------------------------------------------------------------------------
 # Subcommands
 # ---------------------------------------------------------------------------
@@ -168,7 +198,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         specs = expand_registry(specs, **axes)
         print(f"expanded to {len(specs)} derived scenario(s)", file=sys.stderr)
     runner = _make_runner(args)
-    report = runner.run(specs)
+    if _profiling_requested(args):
+        report = _run_profiled(lambda: runner.run(specs))
+    else:
+        report = runner.run(specs)
     _print_report(report, args.json)
     return 1 if report.errors else 0
 
@@ -311,6 +344,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--server-autoscalers", nargs="+", metavar="POLICY",
                               help="grid axis: server-tier autoscaler policies "
                                    "(requires DDS-based base scenarios)")
+    sweep_parser.add_argument("--profile", action="store_true",
+                              help="run the sweep under cProfile and print the "
+                                   "top-20 cumulative entries to stderr (also "
+                                   "enabled by REPRO_PROFILE=1)")
     sweep_parser.add_argument("--json", action="store_true",
                               help="emit fingerprints as JSON instead of a table")
     sweep_parser.set_defaults(func=_cmd_sweep)

@@ -6,6 +6,15 @@
 events-per-second figures the JSON reporter records.  It also works against
 environments without native counters (e.g. the frozen seed engine snapshot)
 by deriving the totals from the event-id counter and the residual heap.
+
+With cohort coalescing the engine distinguishes two notions of "event":
+
+* **logical events** — what the uncoalesced simulation would have processed:
+  every per-worker ack, every folded pull.  This is the BENCH-comparable
+  number (identical whether coalescing is on or off) and what
+  :attr:`processed` reports.
+* **physical events** — actual heap pops.  With coalescing on this is much
+  smaller; the logical/physical ratio is the coalescing win.
 """
 
 from __future__ import annotations
@@ -28,12 +37,13 @@ class EngineStats:
     1
     """
 
-    __slots__ = ("env", "_base_scheduled", "_base_processed")
+    __slots__ = ("env", "_base_scheduled", "_base_processed", "_base_coalesced")
 
     def __init__(self, env: Any) -> None:
         self.env = env
         self._base_scheduled = self._read_scheduled()
         self._base_processed = self._read_processed()
+        self._base_coalesced = self._read_coalesced()
 
     @classmethod
     def absolute(cls, env: Any) -> "EngineStats":
@@ -41,6 +51,7 @@ class EngineStats:
         stats = cls(env)
         stats._base_scheduled = 0
         stats._base_processed = 0
+        stats._base_coalesced = 0
         return stats
 
     # -- raw reads -----------------------------------------------------------
@@ -61,11 +72,16 @@ class EngineStats:
         # Seed-engine fallback: scheduled minus whatever is still in the heap.
         return self._read_scheduled() - len(getattr(self.env, "_queue"))
 
+    def _read_coalesced(self) -> int:
+        # Engines without coalescing (seed snapshot) never fold events.
+        return int(getattr(self.env, "coalesced_count", 0))
+
     # -- deltas ----------------------------------------------------------------
     def reset(self) -> None:
         """Restart the per-run window at the environment's current totals."""
         self._base_scheduled = self._read_scheduled()
         self._base_processed = self._read_processed()
+        self._base_coalesced = self._read_coalesced()
 
     @property
     def scheduled(self) -> int:
@@ -73,9 +89,19 @@ class EngineStats:
         return self._read_scheduled() - self._base_scheduled
 
     @property
-    def processed(self) -> int:
-        """Events whose callbacks ran since construction (or ``reset``)."""
+    def physical(self) -> int:
+        """Heap pops since construction (or ``reset``)."""
         return self._read_processed() - self._base_processed
+
+    @property
+    def logical(self) -> int:
+        """Per-worker-semantics events: physical pops plus coalesced folds."""
+        return self.physical + self._read_coalesced() - self._base_coalesced
+
+    @property
+    def processed(self) -> int:
+        """Logical events since construction (BENCH-comparable across modes)."""
+        return self.logical
 
     def events_per_sec(self, wall_seconds: float) -> Optional[float]:
         """Processed events per wall-clock second (None when unmeasurable)."""
@@ -88,6 +114,8 @@ class EngineStats:
         result: Dict[str, float] = {
             "events_scheduled": float(self.scheduled),
             "events_processed": float(self.processed),
+            "logical_events": float(self.logical),
+            "physical_events": float(self.physical),
             "sim_time": float(getattr(self.env, "now", 0.0)),
         }
         if wall_seconds is not None and wall_seconds > 0:

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, List, Optional
 
+import numpy as np
+
 from ..core.actions import Action
 from ..core.agent import AgentGroup
 from ..core.config import AntDTConfig, ConsistencyModel
@@ -39,8 +41,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 from .backend import ComputeBackend, SyntheticBackend
 from .barrier import BSPBarrier
 from .config import PSJobConfig
-from .server import ParameterServer, PushRequest
-from .worker import PSWorker
+from .server import ParameterServer, PushRequest, ServerStateArrays
+from .worker import PSWorker, WorkerStateArrays
 
 __all__ = ["PSRunResult", "PSTrainingJob"]
 
@@ -74,8 +76,12 @@ class PSRunResult:
     # Final parameter-shard assignment digest (None for server-less jobs).
     shard_map_digest: Optional[str] = None
     # Engine counters for the perf subsystem (events over the whole run).
+    # ``engine_events_processed`` counts *logical* events — per-worker/request
+    # semantics, comparable across coalescing-era and pre-coalescing BENCH
+    # entries — while ``engine_events_physical`` counts actual heap pops.
     engine_events_scheduled: int = 0
     engine_events_processed: int = 0
+    engine_events_physical: int = 0
 
     @property
     def jct(self) -> float:
@@ -132,12 +138,22 @@ class PSTrainingJob:
         if config.consistency is ConsistencyModel.BSP:
             self.barrier = BSPBarrier(env, backup_workers=config.backup_workers)
 
+        # Columnar per-server serving state (acknowledgement chain tails,
+        # handled counters, eager-commit eligibility): created before the
+        # servers so every server allocates its slot here, and the job can
+        # commit one worker's whole push fan-out vectorized (push_fanout).
+        self.server_state = ServerStateArrays(cluster.num_servers)
+        self._fanout_cache = None
         self.servers: List[ParameterServer] = []
         for node in cluster.servers:
             agent = self.agent_group.create_agent(node.name, is_worker=False)
             self.servers.append(self._make_server(node, agent))
 
         initial_batch = max(1, config.global_batch_size // max(1, cluster.num_workers))
+        # Columnar per-worker scalar state (batch size, progress counters):
+        # created before the workers so every worker allocates its slot here,
+        # and job-level totals over the whole fleet are vectorized reductions.
+        self.worker_state = WorkerStateArrays(cluster.num_workers)
         self.workers: List[PSWorker] = []
         for node in cluster.workers:
             agent = self.agent_group.create_agent(node.name, is_worker=True)
@@ -237,6 +253,18 @@ class PSTrainingJob:
     def _on_worker_status_change(self, _node) -> None:
         self._active_worker_count = None
         self._server_fraction = None
+        self._notify_cohort_change()
+
+    def _notify_cohort_change(self) -> None:
+        """Worker membership moved: invalidate every committed server window.
+
+        The active-worker count feeds the report stride and delay fraction
+        each server bakes into its coalesced window, so a lifecycle change
+        anywhere in the worker fleet makes every committed tail stale (see
+        :meth:`ParameterServer.on_cohort_change`).
+        """
+        for server in self.servers:
+            server.on_cohort_change()
 
     # -- internal hooks ------------------------------------------------------------
     def _server_delay_fraction(self) -> float:
@@ -272,6 +300,7 @@ class PSTrainingJob:
             self._exited_worker_set.add(worker)
             self._active_worker_count = None
             self._server_fraction = None
+            self._notify_cohort_change()
         if not self.completed and len(self._exited_workers) == len(self.workers):
             # All workers left (e.g. the allocator ran dry through drops):
             # treat as completion so the run terminates.
@@ -503,6 +532,7 @@ class PSTrainingJob:
             report_stride_provider=self.active_worker_count,
             requeue_filter=self._worker_requeue_ok,
             drain_handler=self.server_departed,
+            state=self.server_state,
         )
 
     def _worker_requeue_ok(self, worker_name: str) -> bool:
@@ -529,6 +559,75 @@ class PSTrainingJob:
                 server for server in self.servers if server.name not in draining]
         return targets
 
+    def push_fanout(self, worker: str, nbytes: float,
+                    targets: List[ParameterServer], latch) -> bool:
+        """Commit one worker's whole push fan-out vectorized, if possible.
+
+        The common steady state at scale — every target server parked on an
+        empty queue with null contention — makes each per-server
+        acknowledgement an affine function of that server's chain tail.  This
+        commits all S requests of one iteration with a handful of numpy
+        operations over :class:`ServerStateArrays` plus one tight Python loop
+        for the bookkeeping each server owns (plan entry, series append,
+        periodic report), then arms the shared latch once with
+        :meth:`CountdownEvent.count_down_many_at
+        <repro.sim.engine.CountdownEvent.count_down_many_at>`.
+
+        Returns False without side effects when any target is not eligible
+        (busy, backlogged, draining-held, or non-null contention); the worker
+        then falls back to per-server :meth:`ParameterServer.submit` calls,
+        which reproduce the exact same acknowledgements scalar-wise.
+        """
+        state = self.server_state
+        cache = self._fanout_cache
+        if cache is None or cache[0] is not targets:
+            # push_targets() rebuilds its list object on every membership
+            # change, so list identity doubles as cache validation.
+            idx = np.fromiter((server._slot for server in targets),
+                              dtype=np.intp, count=len(targets))
+            hot = [(server, server.agent, *server._bpt_series.buffers())
+                   for server in targets]
+            cache = self._fanout_cache = (targets, idx, hot)
+        _, idx, hot = cache
+        if not state.eligible[idx].all():
+            return False
+        env = self.env
+        now = env._now
+        # Acknowledgement closed form, all servers at once.  Each numpy op
+        # is elementwise over independent slots, so the arithmetic per slot
+        # is the same sequence of scalar operations submit() performs.
+        starts = np.maximum(state.chain_tail[idx], now)
+        handlings = state.overhead[idx] + self.config.server_per_byte_cost_s * nbytes
+        acks = starts + handlings
+        state.chain_tail[idx] = acks
+        handled = state.handled[idx] + 1
+        state.handled[idx] = handled
+        stride = self.active_worker_count() or 1
+        reported_mask = (handled % stride == 0).tolist()
+        starts_l = starts.tolist()
+        acks_l = acks.tolist()
+        handlings_l = handlings.tolist()
+        request = PushRequest(worker=worker, nbytes=nbytes, done=latch,
+                              submitted_at=now)
+        handled_l = handled.tolist()
+        for (server, agent, times, values), start, ack, handling, reported, count \
+                in zip(hot, starts_l, acks_l, handlings_l, reported_mask, handled_l):
+            plan = server._plan
+            if plan is None:
+                plan = server._open_plan(ack, count - 1)
+            if reported:
+                agent.report_server_request(handling, ack)
+                if agent._iterations_since_report == 0:
+                    plan.flushes += 1
+            plan.entries.append((request, start, ack, handling,
+                                 True, True, None, reported))
+            plan.coalesced_logged += 1
+            times.append(ack)
+            values.append(handling)
+        latch.count_down_many_at(acks_l)
+        env.coalesced_count += len(hot)
+        return True
+
     def configure_elastic_servers(self, min_servers: int = 1,
                                   max_servers: Optional[int] = None) -> None:
         """Set the hard membership bounds of the parameter-server tier."""
@@ -544,8 +643,13 @@ class PSTrainingJob:
         return self._pending_server_count
 
     def server_queue_depths(self) -> Dict[str, int]:
-        """Queued push requests per active (non-draining) server."""
-        return {server.name: len(server.queue.items)
+        """Queued push requests per active (non-draining) server.
+
+        Reads :meth:`ParameterServer.pending_request_count`, which counts
+        requests inside a committed coalesced window whose handling has not
+        started yet as queued — the same depths per-request stepping shows.
+        """
+        return {server.name: server.pending_request_count()
                 for server in self.push_targets() if server.node.is_running}
 
     def default_server_scale_in_targets(self, count: int) -> List[str]:
@@ -703,7 +807,7 @@ class PSTrainingJob:
                     if not request.done.triggered
                     and self._worker_requeue_ok(request.worker)]
         for index, request in enumerate(rerouted):
-            survivors[index % len(survivors)].queue.push(request)
+            survivors[index % len(survivors)].enqueue(request)
         self.cluster.remove_node(name)
         now = self.env.now
         self.server_membership.record(now, LEFT, name)
@@ -756,7 +860,12 @@ class PSTrainingJob:
         return self._build_result(jct)
 
     def _build_result(self, jct: float) -> PSRunResult:
-        dropped = sum(worker.dropped_iterations for worker in self.workers)
+        # Rewind any coalesced window committed past the instant the run
+        # stopped: figures read the server series post-run and must see
+        # exactly what per-request stepping would have recorded by now.
+        for server in self.servers:
+            server.finalize_run()
+        dropped = self.worker_state.total_dropped_iterations()
         overhead = self.agent_group.total_overhead_s + self.allocator.total_overhead_s
         done_shards = total_shards = None
         if isinstance(self.allocator, StatefulDDS):
@@ -789,5 +898,6 @@ class PSTrainingJob:
             reshard_events=list(self.reshard_log),
             shard_map_digest=self.shard_map.digest() if self.servers else None,
             engine_events_scheduled=self.env.scheduled_count,
-            engine_events_processed=self.env.processed_count,
+            engine_events_processed=self.env.processed_count + self.env.coalesced_count,
+            engine_events_physical=self.env.processed_count,
         )

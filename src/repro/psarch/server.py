@@ -4,23 +4,57 @@ Each server owns a shard of the model parameters and processes push requests
 from workers through a FIFO queue.  A contended server (the paper's server
 straggler) takes longer per request, so its queue backs up and every worker's
 :math:`T^s_i` and :math:`T^m_i` grow — which is why only KILL_RESTART helps.
+
+Cohort request coalescing
+-------------------------
+The FIFO discipline makes a server's near future fully determined the moment
+a request arrives: with a deterministic contention model every handling
+time — and therefore every acknowledgement time — is a closed-form function
+of the time handling starts.  When coalescing is enabled the server exploits
+this at two levels:
+
+* **Eager submit-side commits.**  While the server is idle (parked on its
+  queue) an arriving request never touches the queue at all: ``submit``
+  computes the acknowledgement closed-form, appends one entry to the open
+  :class:`_BatchPlan` and publishes the acknowledgement at its future time.
+  The server process stays parked — a full iteration of W pushes costs zero
+  generator resumes and zero store round trips per server.
+* **Batch commits.**  When requests did accumulate in the queue (after a
+  restart, a rollback or a drain re-route), the server process commits the
+  whole backlog at once and sleeps until the window's end on a single
+  wake-up event.
+
+A 1,000-worker iteration that used to cost W×S heap pops per server
+collapses to one wake-up pop per server per iteration.
+
+Quiescence can break before a window elapses — a kill-restart, an elastic
+membership change (which moves the report stride every server samples), a
+worker draining out, or a contention swap.  Every such perturbation rolls the
+uncommitted tail back (:meth:`ParameterServer._rollback_plan`): future
+acknowledgements are rescinded, observable side effects (the ``server_bpt``
+series, the agent's report buffer, the overhead ledger) are rewound to the
+pre-window snapshot and the already-delivered prefix is replayed, and the
+rescinded requests return to the queue front for re-planning.  The golden
+suite pins coalesced and uncoalesced execution to byte-identical traces.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
 
 from ..core.agent import Agent
 from ..elastic.membership import SCALE_IN
 from ..sim.cluster import Node
-from ..sim.engine import CountdownEvent, Environment, Event, Interrupt, Store
+from ..sim.engine import CountdownEvent, Environment, Event, Interrupt, PENDING, Store
 from ..sim.failures import ErrorCode
 from ..sim.metrics import MetricsRecorder
 from ..sim.scheduler import ClusterScheduler
 from .config import PSJobConfig
 
-__all__ = ["PushRequest", "ParameterServer"]
+__all__ = ["PushRequest", "ServerStateArrays", "ParameterServer"]
 
 
 @dataclass(slots=True)
@@ -31,6 +65,114 @@ class PushRequest:
     nbytes: float
     done: Event
     submitted_at: float = 0.0
+
+
+# One request inside a committed coalesced window, as a plain tuple — plan
+# entries are created once per push request across the whole fleet, and a
+# tuple build is several times cheaper than a (slotted) dataclass:
+#   (request, start, ack, handling, is_latch, contributed, done_id, reported)
+# * start:    when handling begins (the previous entry's acknowledgement).
+# * ack:      when the acknowledgement takes effect.
+# * is_latch: whether ``done`` is a shared CountdownEvent (vs private Event).
+# * contributed: whether a latch contribution was actually recorded (False
+#   for latches already abandoned when the window was committed).
+# * done_id:  heap entry id of a private acknowledgement, for rescinding.
+# * reported: whether the periodic agent report fired for this request —
+#   recorded so a rollback replays delivered entries with the stride
+#   decision made at commit time, not the stride in effect at rollback time.
+(_E_REQUEST, _E_START, _E_ACK, _E_HANDLING,
+ _E_IS_LATCH, _E_CONTRIBUTED, _E_DONE_ID, _E_REPORTED) = range(8)
+
+
+class ServerStateArrays:
+    """Per-server scalar serving state for a whole job, as numpy arrays.
+
+    The columnar twin of :class:`~repro.psarch.worker.WorkerStateArrays`,
+    owned by the job with one slot per server ever admitted.  Keeping the
+    acknowledgement chain tail, the handled-request counter and the
+    per-request overhead columnar lets the job commit one worker's whole
+    push fan-out — one request per server — as a handful of vectorized
+    array operations (:meth:`PSTrainingJob.push_fanout
+    <repro.psarch.job.PSTrainingJob.push_fanout>`) instead of S scalar
+    ``submit`` calls.
+
+    Slots are append-only: a departed server's slot keeps its final values,
+    and elastic joins extend the arrays.
+    """
+
+    _FIELDS = ("chain_tail", "handled", "overhead", "eligible")
+
+    def __init__(self, capacity: int = 0) -> None:
+        capacity = max(int(capacity), 4)
+        #: Last committed acknowledgement time (handling of the next request
+        #: starts at ``max(chain_tail, now)``).
+        self.chain_tail = np.zeros(capacity, dtype=np.float64)
+        #: Requests handled (committed), the report-stride counter.
+        self.handled = np.zeros(capacity, dtype=np.int64)
+        #: Per-request base overhead of the node's device.
+        self.overhead = np.zeros(capacity, dtype=np.float64)
+        #: Whether the slot accepts vectorized eager commits right now:
+        #: the server is parked on an empty queue, coalescing is on, and
+        #: its contention model is null (affine handling times).
+        self.eligible = np.zeros(capacity, dtype=bool)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def allocate_slot(self) -> int:
+        """Claim the next slot (growing the arrays when full); returns its index."""
+        slot = self._size
+        capacity = len(self.chain_tail)
+        if slot >= capacity:
+            grown = max(capacity * 2, slot + 1)
+            for name in self._FIELDS:
+                array = getattr(self, name)
+                extended = np.zeros(grown, dtype=array.dtype)
+                extended[:capacity] = array
+                setattr(self, name, extended)
+        self._size = slot + 1
+        return slot
+
+    def total_requests_handled(self) -> int:
+        """Requests handled across every slot (vectorized)."""
+        return int(self.handled[:self._size].sum())
+
+
+class _BatchPlan:
+    """Bookkeeping for one committed coalesced window.
+
+    Holds the entry tuples in acknowledgement order plus the pre-window
+    snapshot of every observable the commits touched, so the window can be
+    rolled back and its delivered prefix replayed deterministically.
+    """
+
+    __slots__ = ("entries", "wake", "wake_id", "handled_before",
+                 "series_len_before", "agent_state", "flushes",
+                 "coalesced_logged", "origin_physical")
+
+    def __init__(self, handled_before: int, series_len_before: int,
+                 agent_state: Tuple[List[float], int, int],
+                 origin_physical: int) -> None:
+        self.entries: List[tuple] = []
+        self.wake: Optional[Event] = None
+        self.wake_id = -1
+        self.handled_before = handled_before
+        self.series_len_before = series_len_before
+        self.agent_state = agent_state
+        #: Monitor flushes charged by this window's commits (rolled back as
+        #: a delta, not a snapshot — other agents charge the shared ledger
+        #: concurrently).
+        self.flushes = 0
+        #: Per-entry logical events currently accounted to
+        #: ``env.coalesced_count`` for this window (re-arm adjustments are
+        #: tracked directly on the environment, not here).
+        self.coalesced_logged = 0
+        #: Physical events that fed this window from the store: 1 for a
+        #: window the server process popped off its queue, 0 for a window
+        #: opened by an eager submit-side commit.  The logical total of a
+        #: fully delivered window of k requests is k+1 either way.
+        self.origin_physical = origin_physical
 
 
 class ParameterServer:
@@ -48,6 +190,7 @@ class ParameterServer:
         report_stride_provider: Optional[Callable[[], int]] = None,
         requeue_filter: Optional[Callable[[str], bool]] = None,
         drain_handler: Optional[Callable[["ParameterServer", List[PushRequest]], object]] = None,
+        state: Optional[ServerStateArrays] = None,
     ) -> None:
         self.env = env
         self.node = node
@@ -68,17 +211,55 @@ class ParameterServer:
         # simulation sub-process and completes the departure.
         self._drain_handler = drain_handler
         self.queue: Store = env.store()
-        self.requests_handled = 0
+        # Per-server scalar state lives in the job-owned columnar arrays
+        # (chain tail, handled counter, eligibility); a server constructed
+        # without a state-owning job gets a private single-slot instance.
+        self._state = state if state is not None else ServerStateArrays()
+        self._slot = self._state.allocate_slot()
         self.process = None
         self._restart_requested = False
         self._scale_in_requested = False
+        # True exactly while the server process is parked on an empty queue:
+        # the window in which an arriving request can be committed eagerly
+        # at submit time without reordering against queued work.
+        self._accepting = False
         # Cached series handle: one append per handled request otherwise pays
         # a recorder key lookup each.
         self._bpt_series = metrics.series("server_bpt", tag=self.name)
+        # The coalesced window currently in flight (None while stepping
+        # request-by-request or idle).
+        self._plan: Optional[_BatchPlan] = None
+        # A mid-run contention swap invalidates the handling times of a
+        # committed window (and the slot's vectorized-commit eligibility).
+        node.add_contention_listener(self._on_contention_change)
+        self._sync_eligibility()
 
     def start(self) -> None:
         """Launch the server's simulation process."""
         self.process = self.env.process(self.run())
+
+    # -- array-backed scalar state -------------------------------------------------
+    @property
+    def requests_handled(self) -> int:
+        """Requests committed by this server (slot in the job's state arrays)."""
+        return int(self._state.handled[self._slot])
+
+    @requests_handled.setter
+    def requests_handled(self, value: int) -> None:
+        self._state.handled[self._slot] = value
+
+    def _set_accepting(self, value: bool) -> None:
+        if self._accepting != value:
+            self._accepting = value
+            self._sync_eligibility()
+
+    def _sync_eligibility(self) -> None:
+        """Refresh this slot's vectorized-commit eligibility and overhead."""
+        state = self._state
+        slot = self._slot
+        state.eligible[slot] = (self._accepting and self.env.coalesce
+                                and self.node.contention.is_null)
+        state.overhead[slot] = self.node.device.base_overhead
 
     # -- worker-facing API --------------------------------------------------------
     def submit(self, worker: str, nbytes: float, done: Optional[Event] = None) -> Event:
@@ -87,13 +268,43 @@ class ParameterServer:
         ``done`` may be a shared :class:`CountdownEvent` covering the pushes
         of one iteration (one slot per server); the server then counts its
         slot down instead of succeeding a private acknowledgement event.
+
+        While the server is idle-parked and its contention is deterministic,
+        the request is committed *eagerly* right here (see the module
+        docstring) and never enters the queue.
         """
         env = self.env
         request = PushRequest(worker=worker, nbytes=nbytes,
                               done=done if done is not None else Event(env),
-                              submitted_at=env.now)
-        self.queue.push(request)
+                              submitted_at=env._now)
+        if self._accepting and env.coalesce and not self.queue.items:
+            contention = self.node.contention
+            if contention.is_null or contention.is_deterministic:
+                self._commit_request(request)
+                return request.done
+        self._enqueue(request)
         return request.done
+
+    def enqueue(self, request: PushRequest) -> None:
+        """Route an existing request to this server (drain re-route path)."""
+        self._enqueue(request)
+
+    def _enqueue(self, request: PushRequest) -> None:
+        """Queue a request, preserving FIFO order against any open window.
+
+        A parked server with an open plan is logically *busy* until the
+        plan's in-flight acknowledgement: feeding its parked getter now
+        would start the next window early, so the request is held in the
+        queue and the window's wake-up feeds the getter when due (see
+        :meth:`_on_wake`).
+        """
+        queue = self.queue
+        if queue._getters:
+            self._set_accepting(False)
+            if self._plan is not None:
+                queue.items.append(request)
+                return
+        queue.push(request)
 
     def discard_requests_from(self, worker: str) -> int:
         """Purge queued push requests of a departed worker; returns the count.
@@ -104,14 +315,95 @@ class ParameterServer:
         consumer is gone (a stale event).  The request the server is
         *currently* handling cannot be withdrawn; its acknowledgement is
         neutralized by the worker abandoning the latch instead.
+
+        A committed coalesced window is rolled back first (keeping the
+        in-flight request, which matches the uncoalesced server's behaviour
+        of finishing the handling it already started): the rescinded tail
+        returns to the queue front, where the purge below catches the
+        departing worker's requests like any other queued push.
         """
+        _, queued = self._rollback_plan(self.env.now, keep_in_flight=True)
         items = self.queue.items
+        if queued:
+            items.extendleft(reversed(queued))
         keep = [request for request in items if request.worker != worker]
         dropped = len(items) - len(keep)
         if dropped:
             items.clear()
             items.extend(keep)
+        if items:
+            # The survivors wait behind the window's in-flight request; the
+            # wake-up will feed them to the parked server process when due.
+            self._set_accepting(False)
         return dropped
+
+    def pending_request_count(self) -> int:
+        """Queued pushes awaiting handling (excludes the one being handled).
+
+        Matches the uncoalesced server's ``len(queue.items)``: requests that
+        a coalesced window committed but whose handling has not *started* yet
+        still count as queued; the in-flight one does not.
+        """
+        count = len(self.queue.items)
+        plan = self._plan
+        if plan is not None:
+            now = self.env.now
+            for entry in plan.entries:
+                if entry[_E_START] > now:
+                    count += 1
+        return count
+
+    def pending_requests(self) -> List[PushRequest]:
+        """The queued pushes themselves (same window as the count above)."""
+        pending = list(self.queue.items)
+        plan = self._plan
+        if plan is not None:
+            now = self.env.now
+            pending.extend(entry[_E_REQUEST] for entry in plan.entries
+                           if entry[_E_START] > now)
+        return pending
+
+    def _requeue_front(self, queued: List[PushRequest]) -> None:
+        """Return rescinded requests to the queue front for re-planning."""
+        if queued:
+            self.queue.items.extendleft(reversed(queued))
+            # The retained in-flight entry is still being handled: the
+            # server must not pick the requeued tail up (or accept eager
+            # commits ahead of it) before the in-flight acknowledgement.
+            self._set_accepting(False)
+
+    def on_cohort_change(self) -> None:
+        """Worker membership changed: re-plan any committed window.
+
+        The active-worker count feeds both the report stride and the delay
+        fraction the server samples per request, so acknowledgements past
+        this instant were committed under stale inputs.  The delivered prefix
+        and the in-flight request keep their (correct, pre-change) decisions;
+        the rescinded tail re-enters the queue and is re-planned at wake-up.
+        """
+        _, queued = self._rollback_plan(self.env.now, keep_in_flight=True)
+        self._requeue_front(queued)
+
+    def _on_contention_change(self, _node: Node) -> None:
+        """Contention model swapped mid-run: committed handling times are stale."""
+        _, queued = self._rollback_plan(self.env.now, keep_in_flight=True)
+        self._requeue_front(queued)
+        self._sync_eligibility()
+
+    def finalize_run(self) -> None:
+        """Rewind speculative state past the end of the run.
+
+        Called once per server when the job builds its result: a coalesced
+        window may extend beyond the instant the run stopped (completion or
+        deadline), and the uncoalesced server would not yet have recorded the
+        still-in-flight request or the queued tail.  Dropping the in-flight
+        entry (its handling never completed) and restoring the tail to the
+        queue leaves every observable exactly where per-request stepping
+        leaves it.
+        """
+        _, queued = self._rollback_plan(self.env.now, keep_in_flight=False)
+        if queued:
+            self.queue.items.extendleft(reversed(queued))
 
     # -- controller-facing API -----------------------------------------------------
     def request_kill_restart(self) -> bool:
@@ -156,12 +448,20 @@ class ParameterServer:
 
     # -- simulation process -----------------------------------------------------------
     def run(self):
-        """Main loop: pop a request, spend the handling time, acknowledge it."""
+        """Main loop: pop a request, spend the handling time, acknowledge it.
+
+        With coalescing on and a deterministic contention model this loop is
+        almost always *parked*: requests are committed eagerly at submit time
+        and never reach the queue.  The loop only turns when a backlog exists
+        (post-restart, post-rollback, drain re-routes) — then it commits the
+        whole backlog as one batch window — or when the contention model is
+        non-deterministic, in which case it steps request by request.
+        """
         current: Optional[PushRequest] = None
         get_event: Optional[Event] = None
-        # Hot-loop locals: the loop body runs once per push request, i.e.
-        # workers x servers times per global iteration.  All bound objects are
-        # stable across restarts (only the node's *status* changes).
+        # Hot-loop locals: the loop body runs once per popped request.  All
+        # bound objects are stable across restarts (only the node's *status*
+        # changes).
         env = self.env
         queue = self.queue
         node = self.node
@@ -176,9 +476,21 @@ class ParameterServer:
                 # popped is the same one the getter event would have carried).
                 current = queue.try_get()
                 if current is None:
+                    self._set_accepting(True)
                     get_event = queue.get()
                     current = yield get_event
                     get_event = None
+                self._set_accepting(False)
+                contention = node.contention
+                if env.coalesce and (contention.is_null or contention.is_deterministic):
+                    # Every handling time in the current queue is a closed
+                    # form of the pop time: commit the whole window at once
+                    # and sleep until its end (see the module docstring).
+                    wake = self._commit_batch(current)
+                    current = None
+                    yield wake
+                    self._plan = None
+                    continue
                 fraction = float(delay_fraction_provider())
                 handling = node.server_time(
                     current.nbytes,
@@ -205,9 +517,19 @@ class ParameterServer:
                 current = None
             except Interrupt as interrupt:
                 cause = interrupt.cause
+                self._set_accepting(False)
                 # Reclaim the in-flight and half-delivered requests first —
-                # both the relaunch and the drain need them.
+                # both the relaunch and the drain need them.  A committed
+                # coalesced window rolls back completely: the in-flight
+                # request joins ``undelivered`` (like the uncoalesced
+                # server's ``current``) and the untouched tail returns to
+                # the queue front (where per-request stepping left it).
                 undelivered: List[PushRequest] = []
+                in_flight, queued = self._rollback_plan(env.now, keep_in_flight=False)
+                if queued:
+                    queue.items.extendleft(reversed(queued))
+                if in_flight is not None and not in_flight.done.triggered:
+                    undelivered.append(in_flight)
                 if get_event is not None:
                     still_pending = self.queue.cancel(get_event)
                     if not still_pending and get_event.triggered:
@@ -243,3 +565,310 @@ class ParameterServer:
                 yield self.env.timeout(self.config.server_recovery_time_s)
                 self.agent.reset_after_restart()
                 self._restart_requested = False
+
+    # -- coalesced windows ---------------------------------------------------------
+    def _open_plan(self, first_ack: float, handled_before: Optional[int] = None) -> _BatchPlan:
+        """Open a fresh eager window ending (for now) at ``first_ack``.
+
+        The wake-up event is scheduled *before* the first acknowledgement so
+        that at the window's final instant the server's bookkeeping runs
+        first, then the last worker — the same callback order per-request
+        stepping produces.  Its callback (:meth:`_on_wake`) either closes the
+        window or re-arms at the new end if commits extended it meanwhile.
+        """
+        env = self.env
+        if handled_before is None:
+            handled_before = int(self._state.handled[self._slot])
+        plan = _BatchPlan(
+            handled_before=handled_before,
+            series_len_before=len(self._bpt_series),
+            agent_state=self.agent.snapshot_report_state(),
+            origin_physical=0)
+        wake = Event(env)
+        wake.callbacks.append(self._on_wake)
+        plan.wake = wake
+        plan.wake_id = env.schedule_at(wake, first_ack)
+        self._plan = plan
+        return plan
+
+    def _commit_request(self, request: PushRequest) -> None:
+        """Commit one request eagerly at submit time (server stays parked)."""
+        env = self.env
+        node = self.node
+        now = env._now
+        state = self._state
+        slot = self._slot
+        plan = self._plan
+        tail = float(state.chain_tail[slot])
+        start = tail if tail > now else now
+        contention = node.contention
+        if contention.is_null:
+            handling = node.device.base_overhead \
+                + request.nbytes * self.config.server_per_byte_cost_s
+        else:
+            fraction = float(self._delay_fraction_provider())
+            handling = node.server_time(
+                request.nbytes, start,
+                per_byte_cost=self.config.server_per_byte_cost_s,
+                delay_fraction=fraction)
+        ack = start + handling
+        if plan is None:
+            plan = self._open_plan(ack)
+        done = request.done
+        is_latch = type(done) is CountdownEvent
+        contributed = False
+        done_id = None
+        if not done.triggered:
+            if is_latch:
+                contributed = not done.abandoned
+                done.count_down_at(ack, ack)
+            else:
+                done_id = env.schedule_at(done, ack, ack)
+        handled = int(state.handled[slot]) + 1
+        state.handled[slot] = handled
+        state.chain_tail[slot] = ack
+        self._bpt_series.append(ack, handling)
+        stride_provider = self._report_stride_provider
+        stride = (stride_provider() or 1) if stride_provider is not None else 1
+        reported = handled % stride == 0
+        if reported:
+            agent = self.agent
+            agent.report_server_request(handling, ack)
+            if agent._iterations_since_report == 0:
+                plan.flushes += 1
+        plan.entries.append((request, start, ack, handling,
+                             is_latch, contributed, done_id, reported))
+        plan.coalesced_logged += 1
+        env.coalesced_count += 1
+
+    def _on_wake(self, wake: Event) -> None:
+        """Wake-up callback of an eagerly opened window.
+
+        Closes the window when its last acknowledgement is due; re-arms at
+        the new end when eager commits extended the window past the instant
+        this wake-up was scheduled for (the replacement heap entry cancels
+        one logical-event credit, keeping the window's accounting at k+1).
+        Closing also feeds any rollback-requeued backlog to the parked
+        server process — the backlog had to wait for the in-flight
+        acknowledgement (FIFO), and this wake-up marks exactly that instant.
+        """
+        env = self.env
+        plan = self._plan
+        if plan is not None and plan.wake is wake:
+            entries = plan.entries
+            if entries and entries[-1][_E_ACK] > env._now:
+                new_wake = Event(env)
+                new_wake.callbacks.append(self._on_wake)
+                plan.wake = new_wake
+                plan.wake_id = env.schedule_at(new_wake, entries[-1][_E_ACK])
+                env.coalesced_count -= 1
+                return
+            self._plan = None
+        queue = self.queue
+        if queue.items and queue._getters:
+            # The get event this dispatch schedules exists only because the
+            # server parks between coalesced windows (the uncoalesced server
+            # would have been busy handling and polled synchronously), so it
+            # is cancelled out of the logical-event accounting.
+            self._set_accepting(False)
+            env.coalesced_count -= 1
+            queue._dispatch()
+
+    def _commit_batch(self, first: PushRequest) -> Event:
+        """Commit the current queue as one coalesced window; return the wake event.
+
+        Handling times, acknowledgement times and report decisions for
+        ``first`` plus every queued request are computed closed-form and
+        published immediately — acknowledgements via absolute-time scheduling,
+        series/ledger writes eagerly (windowed queries are bisect-bounded, so
+        future-dated observations stay invisible until due).  Per-request
+        inputs that the uncoalesced loop re-reads each iteration (the delay
+        fraction, the report stride) are read once: any event that could move
+        them also triggers a rollback of this window.
+        """
+        env = self.env
+        node = self.node
+        agent = self.agent
+        state = self._state
+        slot = self._slot
+        items = self.queue.items
+        requests: List[PushRequest] = [first]
+        if items:
+            requests.extend(items)
+            items.clear()
+        k = len(requests)
+        t0 = env.now
+        per_byte_cost = self.config.server_per_byte_cost_s
+        contention = node.contention
+        if contention.is_null:
+            # base_overhead + nbytes·cost per request; the acknowledgement
+            # times are the running total, accumulated with np.cumsum, which
+            # adds strictly left-to-right — bit-identical to the sequential
+            # ``t += handling`` of per-request stepping.
+            chain = np.empty(k + 1, dtype=np.float64)
+            chain[0] = t0
+            chain[1:] = node.device.base_overhead + per_byte_cost * np.fromiter(
+                (request.nbytes for request in requests), dtype=np.float64, count=k)
+            handlings = chain[1:].tolist()
+            acks = np.cumsum(chain)[1:].tolist()
+        else:
+            # Deterministic non-null contention: the model is a pure function
+            # of time, but not an affine one — step the scalar recurrence.
+            fraction = float(self._delay_fraction_provider())
+            handlings = []
+            acks = []
+            t = t0
+            for request in requests:
+                handling = node.server_time(
+                    request.nbytes, t,
+                    per_byte_cost=per_byte_cost, delay_fraction=fraction)
+                t += handling
+                handlings.append(handling)
+                acks.append(t)
+        # The wake event is scheduled before any acknowledgement so that at
+        # the window's final instant the server resumes first, then the last
+        # worker — the same callback order per-request stepping produces.
+        wake = Event(env)
+        handled = int(state.handled[slot])
+        plan = _BatchPlan(
+            handled_before=handled,
+            series_len_before=len(self._bpt_series),
+            agent_state=agent.snapshot_report_state(),
+            origin_physical=1)
+        plan.wake = wake
+        plan.wake_id = env.schedule_at(wake, acks[-1])
+        entries = plan.entries
+        bpt_series = self._bpt_series
+        stride_provider = self._report_stride_provider
+        stride = (stride_provider() or 1) if stride_provider is not None else 1
+        flushes = 0
+        start = t0
+        for request, handling, ack in zip(requests, handlings, acks):
+            done = request.done
+            is_latch = type(done) is CountdownEvent
+            contributed = False
+            done_id = None
+            if not done.triggered:
+                if is_latch:
+                    contributed = not done.abandoned
+                    done.count_down_at(ack, ack)
+                else:
+                    done_id = env.schedule_at(done, ack, ack)
+            handled += 1
+            bpt_series.append(ack, handling)
+            reported = handled % stride == 0
+            if reported:
+                agent.report_server_request(handling, ack)
+                if agent._iterations_since_report == 0:
+                    flushes += 1
+            entries.append((request, start, ack, handling,
+                            is_latch, contributed, done_id, reported))
+            start = ack
+        state.handled[slot] = handled
+        state.chain_tail[slot] = acks[-1]
+        plan.flushes = flushes
+        plan.coalesced_logged = k - 1
+        env.count_coalesced(k - 1)
+        self._plan = plan
+        return wake
+
+    def _rollback_plan(self, now: float, keep_in_flight: bool
+                       ) -> Tuple[Optional[PushRequest], List[PushRequest]]:
+        """Rescind the undelivered tail of the committed window, if any.
+
+        Entries acknowledged at or before ``now`` are delivered and stay.
+        The first entry with a later acknowledgement is *in flight* (its
+        handling started at or before ``now``): with ``keep_in_flight`` its
+        committed outcome is preserved — only the report decision is remade
+        under the stride now in effect, since in per-request stepping that
+        decision would happen at the future acknowledgement instant — and the
+        wake-up moves to its acknowledgement; otherwise it is rescinded with
+        the rest and handed back as the first returned value.  Later entries
+        never started and are returned for queue-front reinsertion.
+
+        Observables are rewound to the pre-window snapshot and the kept
+        prefix is replayed with its recorded decisions, so the series, the
+        handled counter, the agent buffer and the shared overhead ledger end
+        up exactly as per-request stepping would have left them at ``now``.
+        """
+        plan = self._plan
+        if plan is None:
+            return None, []
+        entries = plan.entries
+        if not entries or now >= entries[-1][_E_ACK]:
+            # Fully delivered: nothing speculative left to unwind.  (The
+            # window's wake-up stays scheduled and closes it as a no-op.)
+            self._plan = None
+            return None, []
+        env = self.env
+        agent = self.agent
+        state = self._state
+        slot = self._slot
+        split = 0
+        for split, entry in enumerate(entries):
+            if entry[_E_ACK] > now:
+                break
+        in_flight = entries[split]
+        kept = entries[:split]
+        suffix = entries[split + 1:] if keep_in_flight else entries[split:]
+        # 1. Rescind the undelivered acknowledgements, newest first.
+        for entry in reversed(suffix):
+            done = entry[_E_REQUEST].done
+            if entry[_E_IS_LATCH]:
+                if entry[_E_CONTRIBUTED]:
+                    done.rescind(entry[_E_ACK], entry[_E_ACK])
+            elif entry[_E_DONE_ID] is not None:
+                env.discard_scheduled(entry[_E_DONE_ID])
+                done._ok = None
+                done._value = PENDING
+        # 2. Rewind every observable to the pre-window snapshot.
+        self._bpt_series.truncate(plan.series_len_before)
+        agent.restore_report_state(plan.agent_state)
+        group = agent.group
+        group.report_overhead_s -= plan.flushes * group.config.agent_sync_overhead_s
+        handled = plan.handled_before
+        bpt_series = self._bpt_series
+        # 3. Replay the delivered prefix with its recorded decisions.
+        flushes = 0
+        for entry in kept:
+            handled += 1
+            bpt_series.append(entry[_E_ACK], entry[_E_HANDLING])
+            if entry[_E_REPORTED]:
+                agent.report_server_request(entry[_E_HANDLING], entry[_E_ACK])
+                if agent._iterations_since_report == 0:
+                    flushes += 1
+        # 4. Re-commit (or drop) the in-flight entry and move the wake-up.
+        env.discard_scheduled(plan.wake_id)
+        wake = plan.wake
+        wake._ok = None
+        wake._value = PENDING
+        if keep_in_flight:
+            in_ack = in_flight[_E_ACK]
+            in_handling = in_flight[_E_HANDLING]
+            plan.wake_id = env.schedule_at(wake, in_ack)
+            handled += 1
+            bpt_series.append(in_ack, in_handling)
+            stride_provider = self._report_stride_provider
+            stride = (stride_provider() or 1) if stride_provider is not None else 1
+            reported = handled % stride == 0
+            if reported:
+                agent.report_server_request(in_handling, in_ack)
+                if agent._iterations_since_report == 0:
+                    flushes += 1
+            in_flight = in_flight[:_E_REPORTED] + (reported,)
+            plan.entries = kept + [in_flight]
+            state.chain_tail[slot] = in_ack
+        else:
+            plan.entries = kept
+            state.chain_tail[slot] = now
+        state.handled[slot] = handled
+        plan.flushes = flushes
+        # Logical-event credits for the retained work: every kept entry plus
+        # the window's park/pop, minus what fed the window physically.
+        new_logged = len(kept) + 1 - plan.origin_physical
+        env.coalesced_count += new_logged - plan.coalesced_logged
+        plan.coalesced_logged = new_logged
+        if keep_in_flight:
+            return None, [entry[_E_REQUEST] for entry in suffix]
+        self._plan = None
+        return in_flight[_E_REQUEST], [entry[_E_REQUEST] for entry in suffix[1:]]

@@ -23,6 +23,8 @@ from __future__ import annotations
 import math
 from typing import List, Optional
 
+import numpy as np
+
 from ..core.actions import Action, AdjustBatchSize
 from ..core.agent import Agent
 from ..core.sharding import DataAllocator
@@ -37,7 +39,67 @@ from .barrier import BSPBarrier
 from .config import PSJobConfig
 from .server import ParameterServer
 
-__all__ = ["PSWorker"]
+__all__ = ["WorkerStateArrays", "PSWorker"]
+
+
+class WorkerStateArrays:
+    """Per-worker scalar training state for a whole job, as numpy arrays.
+
+    Owned by the job (one instance per run) with one slot per worker ever
+    admitted; workers read and write their slot through the thin properties
+    on :class:`PSWorker`.  Keeping the scalars columnar lets job-level
+    aggregates — total samples confirmed, dropped-iteration counts, progress
+    summaries over a thousand workers — be single vectorized reductions
+    instead of Python loops over worker objects, and gives cohort-wide
+    updates a slice to write instead of an attribute per object.
+
+    Slots are append-only: a departed worker's slot keeps its final values
+    (its contribution to run totals must survive the departure), and elastic
+    joins extend the arrays.
+    """
+
+    _FIELDS = ("batch_size", "grad_accumulation", "iteration",
+               "samples_confirmed", "iterations_done", "dropped_iterations")
+
+    def __init__(self, capacity: int = 0) -> None:
+        capacity = max(int(capacity), 4)
+        self.batch_size = np.ones(capacity, dtype=np.int64)
+        self.grad_accumulation = np.ones(capacity, dtype=np.int64)
+        self.iteration = np.zeros(capacity, dtype=np.int64)
+        self.samples_confirmed = np.zeros(capacity, dtype=np.int64)
+        self.iterations_done = np.zeros(capacity, dtype=np.int64)
+        self.dropped_iterations = np.zeros(capacity, dtype=np.int64)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def allocate_slot(self) -> int:
+        """Claim the next slot (growing the arrays when full); returns its index."""
+        slot = self._size
+        capacity = len(self.batch_size)
+        if slot >= capacity:
+            grown = max(capacity * 2, slot + 1)
+            for name in self._FIELDS:
+                array = getattr(self, name)
+                fill = 1 if name in ("batch_size", "grad_accumulation") else 0
+                extended = np.full(grown, fill, dtype=np.int64)
+                extended[:capacity] = array
+                setattr(self, name, extended)
+        self._size = slot + 1
+        return slot
+
+    def total_samples_confirmed(self) -> int:
+        """Samples confirmed across every slot (vectorized)."""
+        return int(self.samples_confirmed[:self._size].sum())
+
+    def total_iterations_done(self) -> int:
+        """Iterations finished across every slot (vectorized)."""
+        return int(self.iterations_done[:self._size].sum())
+
+    def total_dropped_iterations(self) -> int:
+        """Backup-worker drops across every slot (vectorized)."""
+        return int(self.dropped_iterations[:self._size].sum())
 
 
 class PSWorker:
@@ -72,12 +134,16 @@ class PSWorker:
         self.metrics = metrics
         self.job = job
         self.barrier = barrier
-        self.batch_size = max(1, int(initial_batch_size))
-        self.grad_accumulation = 1
-        self.iteration = 0
-        self.samples_confirmed = 0
-        self.iterations_done = 0
-        self.dropped_iterations = 0
+        # Per-worker scalar state lives in the job-owned columnar arrays;
+        # the properties below keep the object-attribute API intact.  A
+        # worker constructed without a state-owning job (unit tests, ad-hoc
+        # harnesses) gets a private single-slot instance.
+        state = getattr(job, "worker_state", None)
+        if not isinstance(state, WorkerStateArrays):
+            state = WorkerStateArrays()
+        self._state = state
+        self._slot = state.allocate_slot()
+        state.batch_size[self._slot] = max(1, int(initial_batch_size))
         self.process = None
         self._restart_requested = False
         self._scale_in_requested = False
@@ -95,6 +161,61 @@ class PSWorker:
     def start(self) -> None:
         """Launch the worker's simulation process."""
         self.process = self.env.process(self.run())
+
+    # -- array-backed scalar state -------------------------------------------------
+    @property
+    def batch_size(self) -> int:
+        """Current per-iteration batch size (slot in the job's state arrays)."""
+        return int(self._state.batch_size[self._slot])
+
+    @batch_size.setter
+    def batch_size(self, value: int) -> None:
+        self._state.batch_size[self._slot] = value
+
+    @property
+    def grad_accumulation(self) -> int:
+        """Gradient-accumulation count."""
+        return int(self._state.grad_accumulation[self._slot])
+
+    @grad_accumulation.setter
+    def grad_accumulation(self, value: int) -> None:
+        self._state.grad_accumulation[self._slot] = value
+
+    @property
+    def iteration(self) -> int:
+        """Current (barrier-aligned) iteration number."""
+        return int(self._state.iteration[self._slot])
+
+    @iteration.setter
+    def iteration(self, value: int) -> None:
+        self._state.iteration[self._slot] = value
+
+    @property
+    def samples_confirmed(self) -> int:
+        """Samples this worker confirmed with the allocator."""
+        return int(self._state.samples_confirmed[self._slot])
+
+    @samples_confirmed.setter
+    def samples_confirmed(self, value: int) -> None:
+        self._state.samples_confirmed[self._slot] = value
+
+    @property
+    def iterations_done(self) -> int:
+        """Iterations this worker finished (accepted or dropped)."""
+        return int(self._state.iterations_done[self._slot])
+
+    @iterations_done.setter
+    def iterations_done(self, value: int) -> None:
+        self._state.iterations_done[self._slot] = value
+
+    @property
+    def dropped_iterations(self) -> int:
+        """Iterations dropped at the barrier (backup-workers policy)."""
+        return int(self._state.dropped_iterations[self._slot])
+
+    @dropped_iterations.setter
+    def dropped_iterations(self, value: int) -> None:
+        self._state.dropped_iterations[self._slot] = value
 
     # -- controller-facing API ----------------------------------------------------
     def request_kill_restart(self) -> bool:
@@ -216,6 +337,10 @@ class PSWorker:
         job = self.job
         backend = self.backend
         push_targets = job.push_targets
+        # Vectorized fan-out commit (None for standalone jobs without one):
+        # one call commits the whole iteration's pushes against the job's
+        # ServerStateArrays when every target server is idle-eligible.
+        push_fanout = getattr(job, "push_fanout", None) if env.coalesce else None
         name = self.name
         config = self.config
         timeout = env.timeout
@@ -282,23 +407,34 @@ class PSWorker:
                 # push is never addressed to a draining server.  For a fixed
                 # fleet this is the full (cached) server list.
                 targets = push_targets()
+                pull_pending = True
                 if targets:
                     per_server = grad_bytes / len(targets)
                     # One countdown latch per iteration instead of a private
                     # ack event per server plus an AllOf: the same fan-in
                     # point with one heap event instead of len(targets) + 1.
-                    acks = CountdownEvent(env, len(targets))
+                    # With coalescing the latch also absorbs the pull sleep
+                    # that immediately follows the final acknowledgement
+                    # (``fire_delay``): the worker resumes at last-ack plus
+                    # pull time off a single heap entry.
+                    fold_pull = env.coalesce and pull_time > 0.0
+                    acks = CountdownEvent(env, len(targets),
+                                          fire_delay=pull_time if fold_pull else 0.0)
                     self._pending_acks = acks
-                    for server in targets:
-                        server.submit(name, per_server, acks)
+                    if push_fanout is None or not push_fanout(
+                            name, per_server, targets, acks):
+                        for server in targets:
+                            server.submit(name, per_server, acks)
                     yield acks
                     self._pending_acks = None
+                    pull_pending = not fold_pull
 
                 # The pull sleep stays separate from the report sleep: the
                 # iteration must only be recorded once the pull actually
                 # finished, so a KILL_RESTART landing mid-pull leaves no
                 # phantom observations for an iteration that failed over.
-                yield timeout(pull_time)
+                if pull_pending:
+                    yield timeout(pull_time)
                 now = env.now
                 bpt = now - iteration_start
                 # Raw per-iteration series (Fig. 12 / Fig. 13); the Monitor

@@ -41,7 +41,8 @@ def _build_experiment(spec: ScenarioSpec,
                       evaluate_after_run: bool = False,
                       num_samples: Optional[int] = None,
                       track_coverage: bool = False,
-                      failure_injector: Optional[FailureInjector] = None) -> PSExperiment:
+                      failure_injector: Optional[FailureInjector] = None,
+                      coalesce: Optional[bool] = None) -> PSExperiment:
     """The bare :class:`PSExperiment` behind a scenario spec.
 
     Internal: the experiment alone carries neither the failure trace nor the
@@ -66,6 +67,7 @@ def _build_experiment(spec: ScenarioSpec,
         num_samples=num_samples,
         track_coverage=track_coverage,
         failure_injector=injector,
+        coalesce=coalesce,
     )
 
 

@@ -91,6 +91,23 @@ class Node:
         self.incarnation = 0
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self._status_listeners: List = []
+        self._contention_listeners: List = []
+
+    def add_contention_listener(self, listener) -> None:
+        """Register a callable invoked (with this node) when the contention
+        model in effect changes mid-run.
+
+        Servers that committed a coalesced window of handling times under the
+        old model use this to rescind the still-undelivered tail and re-plan
+        under the new one.
+        """
+        self._contention_listeners.append(listener)
+
+    def set_contention(self, contention: ContentionModel) -> None:
+        """Swap the contention model in effect, notifying listeners."""
+        self.contention = contention
+        for listener in self._contention_listeners:
+            listener(self)
 
     def add_status_listener(self, listener) -> None:
         """Register a callable invoked (with this node) on every status change.
@@ -178,7 +195,7 @@ class Node:
     def complete_restart(self) -> None:
         """Finish a relaunch: fresh pod, fresh placement, no contention."""
         self.status = NodeStatus.RUNNING
-        self.contention = self.spec.post_restart_contention
+        self.set_contention(self.spec.post_restart_contention)
         self.restart_count += 1
         self.incarnation += 1
         self._notify_status()
@@ -331,7 +348,7 @@ class Cluster:
 
     def set_contention(self, node_name: str, contention: ContentionModel) -> None:
         """Override the current contention model of one node."""
-        self.get(node_name).contention = contention
+        self.get(node_name).set_contention(contention)
 
     def describe(self) -> str:
         """Human readable summary used in experiment reports."""

@@ -49,6 +49,13 @@ class ContentionModel:
     #: vast majority of nodes are uncontended.
     is_null: bool = False
 
+    #: True for models whose ``extra_delay``/``slowdown`` depend only on
+    #: ``now`` — never on the random generator.  Deterministic models allow a
+    #: server to pre-compute a whole window of handling times closed-form
+    #: (cohort coalescing); models that consume the per-node RNG must be
+    #: stepped request-by-request so the draw order stays byte-identical.
+    is_deterministic: bool = False
+
     def extra_delay(self, now: float, rng: np.random.Generator) -> float:
         """Additional seconds added to the iteration starting at ``now``."""
         return 0.0
@@ -66,6 +73,7 @@ class NoContention(ContentionModel):
     """A leader node: no contention at all."""
 
     is_null = True
+    is_deterministic = True
 
 
 @dataclass
@@ -77,6 +85,8 @@ class ConstantContention(ContentionModel):
     """
 
     delay_seconds: float
+
+    is_deterministic = True
 
     def __post_init__(self) -> None:
         if self.delay_seconds < 0:
@@ -116,6 +126,8 @@ class PeriodicContention(ContentionModel):
     period: float = 1800.0
     active_duration: float = 900.0
     phase: float = 0.0
+
+    is_deterministic = True
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.intensity <= 1.0:
@@ -181,6 +193,8 @@ class DeterministicSlowdown(ContentionModel):
 
     factor: float
 
+    is_deterministic = True
+
     def __post_init__(self) -> None:
         if self.factor < 1.0:
             raise ValueError("slowdown factor must be >= 1.0")
@@ -202,6 +216,7 @@ class CompositeContention(ContentionModel):
 
     def __init__(self, models: Sequence[ContentionModel]) -> None:
         self.models: List[ContentionModel] = list(models)
+        self.is_deterministic = all(model.is_deterministic for model in self.models)
 
     def extra_delay(self, now: float, rng: np.random.Generator) -> float:
         return sum(model.extra_delay(now, rng) for model in self.models)

@@ -17,6 +17,28 @@ The public surface mirrors the subset of SimPy semantics we need:
 * :class:`Store` — an unbounded FIFO channel used for message queues between
   workers, servers, agents and the controller.
 
+Cohort coalescing and quiescent-window fast-forward
+---------------------------------------------------
+Beyond the SimPy subset, the environment supports *absolute-time scheduling*
+(:meth:`Environment.schedule_at` / :meth:`Environment.discard_scheduled`):
+a component that can compute a whole window of deterministic future outcomes
+closed-form — e.g. a parameter server acknowledging a cohort of queued pushes
+whose handling times are all known — commits the window eagerly, schedules a
+single wake-up event at the end of the window, and the clock fast-forwards
+over the window in one heap pop instead of one pop per member.  Should the
+window's quiescence break before it elapses (a failure, a straggler
+transition, an elastic membership change), the committed tail is *rescinded*:
+``discard_scheduled`` lazily kills the stale heap entries and the component
+re-plans from the perturbation point.  The ``coalesce`` flag (or the
+``REPRO_NO_COALESCE=1`` escape hatch at the experiment layer) turns the whole
+mechanism off, falling back to strictly per-event stepping — both modes
+produce byte-identical traces, which the golden suite pins.
+
+The environment keeps the two event counters separate: ``processed_count``
+counts *physical* heap pops, while :meth:`count_coalesced` accounts the
+*logical* events a coalesced window stood in for, so throughput numbers stay
+comparable with pre-coalescing benchmarks (see :mod:`repro.perf`).
+
 Example
 -------
 >>> env = Environment()
@@ -32,6 +54,7 @@ Example
 
 from __future__ import annotations
 
+import gc
 import heapq
 import itertools
 from collections import deque
@@ -46,6 +69,7 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "CountdownEvent",
+    "PeriodicTask",
     "Store",
     "StopSimulation",
     "PENDING",
@@ -400,16 +424,35 @@ class CountdownEvent(Event):
     heap entry — a countdown latch is a single event and a decrement, which
     at 100+ workers removes the dominant share of heap traffic.  It succeeds
     with the value of the final ``count_down``.
+
+    Coalesced producers contribute through :meth:`count_down_at` with an
+    explicit (possibly future) completion time; the latch fires at the
+    temporally latest contribution via :meth:`Environment.schedule_at`, so a
+    mix of batch-committed and step-by-step producers still resolves at the
+    same instant as fully sequential execution.  A non-zero ``fire_delay``
+    folds the consumer's immediate follow-up wait (the worker's model pull)
+    into the same heap entry, saving one event per fan-in.  Contributions
+    can be withdrawn again with :meth:`rescind` when a coalesced window is
+    rolled back.
     """
 
-    __slots__ = ("_remaining", "_abandoned")
+    __slots__ = ("_remaining", "_abandoned", "_fire_delay",
+                 "_contributions", "_fire_id")
 
-    def __init__(self, env: "Environment", count: int) -> None:
+    def __init__(self, env: "Environment", count: int,
+                 fire_delay: float = 0.0) -> None:
         if count <= 0:
             raise ValueError("count must be positive")
+        if fire_delay < 0:
+            raise ValueError("fire_delay must be non-negative")
         super().__init__(env)
         self._remaining = int(count)
         self._abandoned = False
+        self._fire_delay = fire_delay
+        # (when, value) per count_down, in call order.  Kept so a rescinded
+        # contribution can be removed and the firing time recomputed.
+        self._contributions: List = []
+        self._fire_id: Optional[int] = None
 
     @property
     def remaining(self) -> int:
@@ -440,14 +483,192 @@ class CountdownEvent(Event):
         On an abandoned latch this is a no-op (the remaining count is left
         untouched and no event is ever scheduled).
         """
+        self.count_down_at(self.env._now, value)
+        return self._remaining
+
+    def count_down_at(self, when: float, value: Any = None) -> bool:
+        """Record one completion that takes effect at absolute time ``when``.
+
+        Coalesced producers call this with future acknowledgement times; the
+        final contribution fires the latch at the *latest* contributed time
+        (ties resolved in favour of the most recent call, matching the
+        sequential execution where the last ``count_down`` wins), plus the
+        latch's ``fire_delay``.  Returns True when this call armed the
+        firing event.
+        """
         if self._abandoned:
-            return self._remaining
+            return False
         if self._remaining <= 0:
             raise RuntimeError(f"{self!r} has already been fully counted down")
         self._remaining -= 1
-        if self._remaining == 0:
-            self.succeed(value)
-        return self._remaining
+        self._contributions.append((when, value))
+        if self._remaining != 0:
+            return False
+        self._arm_fire()
+        return True
+
+    def count_down_many_at(self, whens) -> bool:
+        """Record a batch of completions, each valued with its own time.
+
+        Vectorised fan-out entry point: a producer that just committed one
+        acknowledgement per slot calls this once with all the ack times
+        instead of issuing ``len(whens)`` ``count_down_at`` calls.  Each
+        contribution's value is its time (the fan-out protocol's ack
+        payload).  Returns True when the batch armed the firing event.
+        """
+        if self._abandoned:
+            return False
+        n = len(whens)
+        if n > self._remaining:
+            raise RuntimeError(f"{self!r} has already been fully counted down")
+        self._remaining -= n
+        self._contributions.extend(zip(whens, whens))
+        if self._remaining != 0:
+            return False
+        self._arm_fire()
+        return True
+
+    def _arm_fire(self) -> None:
+        """Schedule the latch at the latest contribution (latest call wins ties)."""
+        fire_when, fire_value = self._contributions[0]
+        for contrib_when, contrib_value in self._contributions:
+            if contrib_when >= fire_when:
+                fire_when, fire_value = contrib_when, contrib_value
+        fire_delay = self._fire_delay
+        self._fire_id = self.env.schedule_at(
+            self, fire_when + fire_delay, fire_value)
+        if fire_delay > 0.0:
+            # The consumer's follow-up wait rode along on this heap entry:
+            # account the timeout event it replaced.
+            self.env.count_coalesced(1)
+
+    def rescind(self, when: float, value: Any = None) -> None:
+        """Withdraw one prior :meth:`count_down_at` contribution.
+
+        Used when a coalesced window is rolled back before the contributed
+        completion was delivered.  If the latch had already armed its firing
+        event, the heap entry is discarded and the latch returns to the
+        pending state so producers can contribute again.
+        """
+        self._contributions.remove((when, value))
+        self._remaining += 1
+        if self._fire_id is not None:
+            env = self.env
+            env.discard_scheduled(self._fire_id)
+            self._fire_id = None
+            self._ok = None
+            self._value = PENDING
+            if self._fire_delay > 0.0:
+                env.coalesced_count -= 1
+
+
+class PeriodicTask:
+    """A deterministic periodic event stream the engine can fast-forward.
+
+    Fires ``on_tick(when)`` every ``interval`` simulation seconds on the
+    fixed grid ``base + k * interval`` (no accumulated drift).  When the
+    pending heap holds *nothing but* periodic-task ticks and the run has a
+    finite horizon, the run loop advances the clock in closed form instead of
+    popping each tick — the quiescent-window fast-forward: each task receives
+    one ``on_fold(n, last_when)`` call summarising the ``n`` ticks the window
+    covered, and the skipped ticks are accounted as coalesced logical events
+    (so logical throughput matches tick-by-tick execution exactly).
+
+    Contract: both callbacks must be *quiescent* — they may update their own
+    accumulators but must not schedule events, resume processes, or mutate
+    state other simulation components read mid-window.  A periodic activity
+    that interacts with the simulation is not a quiescent task; model it as a
+    normal process loop.  Because tick times live on a fixed grid, a
+    fast-forwarded window leaves the task in the bit-identical state
+    tick-by-tick stepping produces (``Environment(coalesce=False)`` disables
+    the fast-forward and pins that equivalence in the tests).
+    """
+
+    __slots__ = ("env", "interval", "on_tick", "on_fold",
+                 "_base", "_index", "_eid", "_stopped")
+
+    def __init__(self, env: "Environment", interval: float,
+                 on_tick: Callable[[float], None],
+                 on_fold: Callable[[int, float], None],
+                 first_at: Optional[float] = None) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.env = env
+        self.interval = float(interval)
+        self.on_tick = on_tick
+        self.on_fold = on_fold
+        first = float(first_at) if first_at is not None else env._now + self.interval
+        if first < env._now:
+            raise ValueError(f"first_at={first} lies in the past (now={env._now})")
+        # Tick k fires at _base + (k+1) * interval; _index is the number of
+        # ticks already fired (or folded).
+        self._base = first - self.interval
+        self._index = 0
+        self._stopped = False
+        env._periodic_tasks.append(self)
+        self._schedule_tick()
+
+    @property
+    def ticks_elapsed(self) -> int:
+        """Ticks fired or folded so far."""
+        return self._index
+
+    def _next_when(self) -> float:
+        return self._base + (self._index + 1) * self.interval
+
+    def _schedule_tick(self) -> None:
+        env = self.env
+        event = Event(env)
+        event.callbacks.append(self._fire)
+        self._eid = env.schedule_at(event, self._next_when())
+        env._quiescent_pending += 1
+
+    def _fire(self, _event: Event) -> None:
+        env = self.env
+        env._quiescent_pending -= 1
+        self._eid = -1
+        if self._stopped:
+            return
+        self._index += 1
+        self.on_tick(env._now)
+        if not self._stopped:
+            # A tick callback may stop() its own task; then there is no next
+            # tick to schedule.
+            self._schedule_tick()
+
+    def stop(self) -> None:
+        """Cancel the stream; no further ticks fire (callable from a tick)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        env = self.env
+        if self._eid != -1:
+            env.discard_scheduled(self._eid)
+            env._quiescent_pending -= 1
+        env._periodic_tasks.remove(self)
+
+    def _fast_forward(self, until: float) -> int:
+        """Fold every tick due in ``(now, until]``; returns how many."""
+        interval = self.interval
+        base = self._base
+        # Largest k with base + k*interval <= until, robust to the last-ulp
+        # ambiguity of the floor division.
+        k = int((until - base) // interval)
+        while base + k * interval > until:
+            k -= 1
+        while base + (k + 1) * interval <= until:
+            k += 1
+        n = k - self._index
+        if n <= 0:
+            return 0
+        env = self.env
+        env.discard_scheduled(self._eid)
+        env._quiescent_pending -= 1
+        self._index = k
+        self.on_fold(n, base + k * interval)
+        env.coalesced_count += n
+        self._schedule_tick()
+        return n
 
 
 class Store:
@@ -555,18 +776,41 @@ class Environment:
     The environment keeps two lightweight counters for the perf subsystem
     (:mod:`repro.perf`): ``scheduled_count`` is the number of events that
     entered the heap, ``processed_count`` the number whose callbacks ran.
+    ``coalesced_count`` accounts the *logical* events that never became heap
+    entries because a component committed them inside a coalesced window
+    (see the module docstring); logical throughput is
+    ``processed_count + coalesced_count``.
+
+    ``coalesce`` gates whether components are allowed to batch at all:
+    server request coalescing and the worker-side deferred-pull latch both
+    consult it, so ``Environment(coalesce=False)`` reproduces the strictly
+    event-per-request execution (the golden suite pins both modes to the
+    same byte-identical traces).
     """
 
     __slots__ = ("_now", "_queue", "_eid", "_active_process",
-                 "scheduled_count", "processed_count")
+                 "scheduled_count", "processed_count",
+                 "coalesce", "coalesced_count", "_dead",
+                 "_quiescent_pending", "_periodic_tasks")
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(self, initial_time: float = 0.0, coalesce: bool = True) -> None:
         self._now = float(initial_time)
         self._queue: List = []
         self._eid = itertools.count()
         self._active_process: Optional[Process] = None
         self.scheduled_count = 0
         self.processed_count = 0
+        self.coalesce = bool(coalesce)
+        self.coalesced_count = 0
+        # Quiescent-window fast-forward bookkeeping: the number of pending
+        # heap entries that are PeriodicTask ticks, and the live tasks.  When
+        # every pending entry is a tick, the run loop advances closed-form.
+        self._quiescent_pending = 0
+        self._periodic_tasks: List[PeriodicTask] = []
+        # Heap-entry ids rescinded via discard_scheduled().  Entries are
+        # killed lazily: the run loop drops them on pop instead of paying an
+        # O(n) heap rebuild per rescission.
+        self._dead: set = set()
 
     @property
     def now(self) -> float:
@@ -608,15 +852,55 @@ class Environment:
         self.scheduled_count += 1
         heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
 
+    def schedule_at(self, event: Event, when: float, value: Any = None) -> int:
+        """Trigger ``event`` successfully at absolute time ``when``.
+
+        The workhorse of coalesced commits: a component that has computed a
+        future outcome closed-form publishes it here and receives the heap
+        entry id back, which :meth:`discard_scheduled` accepts should the
+        outcome need to be rescinded before it is delivered.  ``when`` must
+        not lie in the past (the heap would deliver it out of order).
+        """
+        if when < self._now:
+            raise ValueError(f"schedule_at({when}) lies in the past (now={self._now})")
+        if event._value is not PENDING:
+            raise RuntimeError(f"{event!r} has already been triggered")
+        event._ok = True
+        event._value = value
+        self.scheduled_count += 1
+        eid = next(self._eid)
+        heapq.heappush(self._queue, (when, _NORMAL, eid, event))
+        return eid
+
+    def discard_scheduled(self, eid: int) -> None:
+        """Rescind the heap entry ``eid`` (from :meth:`schedule_at`).
+
+        The entry stays in the heap but is dropped, uncounted, when popped.
+        The caller owns resetting the event's triggered state if the event
+        object is to be reused.
+        """
+        self._dead.add(eid)
+
+    def count_coalesced(self, n: int) -> None:
+        """Account ``n`` logical events that were absorbed into a coalesced
+        window instead of being scheduled individually."""
+        self.coalesced_count += n
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when the queue is empty."""
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
         """Process the next scheduled event."""
-        if not self._queue:
-            raise RuntimeError("no more events scheduled")
-        when, _priority, _eid, event = heapq.heappop(self._queue)
+        dead = self._dead
+        while True:
+            if not self._queue:
+                raise RuntimeError("no more events scheduled")
+            when, _priority, eid, event = heapq.heappop(self._queue)
+            if dead and eid in dead:
+                dead.discard(eid)
+                continue
+            break
         self._now = when
         self.processed_count += 1
         callbacks, event.callbacks = event.callbacks, None
@@ -649,15 +933,45 @@ class Environment:
         # The dispatch loop below is `step()` inlined with the queue, heappop
         # and counters bound to locals: one `step` runs per simulated event, so
         # the attribute lookups per iteration dominate the engine's own cost.
+        #
+        # The cyclic garbage collector is suspended for the duration of the
+        # loop: a large simulation keeps millions of long-lived tracked
+        # objects alive (coalesced plan entries, metric series), and each
+        # generational collection re-traverses all of them — at 1,000 workers
+        # the collector alone more than doubles the wall time.  The engine's
+        # object graph is overwhelmingly acyclic (events and requests free by
+        # refcount as they resolve), so deferring cycle detection until the
+        # run returns only delays reclaiming the rare cycle, it never changes
+        # behaviour.  Re-entrant runs (a run started from inside a callback)
+        # leave the collector alone — the outermost run owns it.
         queue = self._queue
         heappop = heapq.heappop
+        dead = self._dead
         processed = 0
+        # Quiescent-window fast-forward: legal only with a finite horizon
+        # (a pure periodic stream never drains on its own) and gated by the
+        # same ``coalesce`` escape hatch as every other folding optimisation.
+        can_fast_forward = self.coalesce and stop_time != float("inf")
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
             while queue:
                 if queue[0][0] > stop_time:
                     self._now = stop_time
                     return None
-                when, _priority, _eid, event = heappop(queue)
+                if can_fast_forward and self._quiescent_pending == len(queue):
+                    # Every pending entry is a deterministic periodic tick:
+                    # advance the window closed-form.  (Entries rescinded but
+                    # not yet popped keep the counter below len(queue), which
+                    # conservatively falls back to stepping.)
+                    for task in list(self._periodic_tasks):
+                        task._fast_forward(stop_time)
+                    continue
+                when, _priority, eid, event = heappop(queue)
+                if dead and eid in dead:
+                    dead.discard(eid)
+                    continue
                 self._now = when
                 processed += 1
                 callbacks, event.callbacks = event.callbacks, None
@@ -669,6 +983,8 @@ class Environment:
             return stop.args[0] if stop.args else None
         finally:
             self.processed_count += processed
+            if gc_was_enabled:
+                gc.enable()
 
         if stop_event is not None and not stop_event.triggered:
             raise RuntimeError("run(until=event) finished but the event never triggered")

@@ -16,6 +16,8 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 __all__ = ["MetricPoint", "MetricSeries", "MetricsRecorder", "window_start"]
 
 
@@ -47,12 +49,19 @@ class MetricPoint:
 class MetricSeries:
     """An append-only, time-ordered series of observations.
 
-    Alongside the raw observations the series maintains a running prefix-sum
-    array, so every windowed aggregate (:meth:`window_mean`,
-    :meth:`window_stats`) is answered with two bisections and one subtraction
-    instead of slicing a copy of the window — the Monitor and the straggler
-    detector issue these queries every control interval for every node, and
-    the old O(window) copies dominated large-cluster runs.
+    Alongside the raw observations the series maintains a prefix-sum array,
+    so every windowed aggregate (:meth:`window_mean`, :meth:`window_stats`)
+    is answered with two bisections and one subtraction instead of slicing a
+    copy of the window — the Monitor and the straggler detector issue these
+    queries every control interval for every node, and the old O(window)
+    copies dominated large-cluster runs.
+
+    The prefix sums are maintained *lazily*: appends touch only the raw
+    lists (the dominant cost of the simulator's hottest series is the append
+    itself), and the first aggregate query after a batch of appends extends
+    the prefix array for the new suffix.  The catch-up accumulates strictly
+    left to right (``np.cumsum`` seeded with the last synced prefix value),
+    so aggregates are bit-identical to eagerly maintained sums.
     """
 
     __slots__ = ("_times", "_values", "_prefix")
@@ -60,8 +69,8 @@ class MetricSeries:
     def __init__(self) -> None:
         self._times: List[float] = []
         self._values: List[float] = []
-        # _prefix[i] is the sum of the first i values (so len(_prefix) is
-        # always len(_values) + 1).
+        # _prefix[i] is the sum of the first i values.  Invariant:
+        # len(_prefix) <= len(_values) + 1; the gap is the unsynced suffix.
         self._prefix: List[float] = [0.0]
 
     def __len__(self) -> int:
@@ -78,8 +87,73 @@ class MetricSeries:
         value = value if type(value) is float else float(value)
         times.append(time if type(time) is float else float(time))
         self._values.append(value)
+
+    def extend(self, times: Sequence[float], values: Sequence[float]) -> None:
+        """Append a batch of observations; times must be non-decreasing.
+
+        Bulk variant of :meth:`append` for coalesced commits (a server
+        publishing a whole window of handling times at once).
+        """
+        if len(times) == 0:
+            return
+        own_times = self._times
+        if own_times and times[0] < own_times[-1]:
+            raise ValueError(
+                f"observations must be appended in time order "
+                f"({times[0]} < {own_times[-1]})"
+            )
+        own_times.extend(float(t) for t in times)
+        self._values.extend(float(v) for v in values)
+
+    def _sync_prefix(self) -> List[float]:
+        """Extend the prefix sums over any values appended since last sync."""
         prefix = self._prefix
-        prefix.append(prefix[-1] + value)
+        values = self._values
+        synced = len(prefix) - 1
+        missing = len(values) - synced
+        if missing <= 0:
+            return prefix
+        if missing > 64:
+            # Seeding cumsum with the running total keeps the accumulation
+            # strictly sequential — bit-identical to one-at-a-time adds.
+            block = np.empty(missing + 1, dtype=np.float64)
+            block[0] = prefix[-1]
+            block[1:] = values[synced:]
+            prefix.extend(np.cumsum(block)[1:].tolist())
+        else:
+            running = prefix[-1]
+            for value in values[synced:]:
+                running += value
+                prefix.append(running)
+        return prefix
+
+    def buffers(self) -> Tuple[List[float], List[float]]:
+        """The live ``(times, values)`` lists, for trusted hot-path appends.
+
+        The vectorized push fan-out appends one observation per server per
+        iteration; going through :meth:`append` costs a method call and a
+        monotonicity check per observation.  Callers appending through these
+        handles must keep times non-decreasing themselves (coalesced commits
+        do — acknowledgements advance along each server's chain, and
+        rollbacks restore monotonicity via :meth:`truncate` before any
+        replay).  The lazy prefix machinery is unaffected: it reads
+        ``_values`` on the next aggregate query.
+        """
+        return self._times, self._values
+
+    def truncate(self, length: int) -> None:
+        """Drop every observation past the first ``length``.
+
+        Rollback hook for coalesced commits: when a window is rescinded
+        mid-flight (failure, straggler transition, membership change) the
+        owning component rewinds the series to its pre-window length before
+        re-planning.
+        """
+        if length < 0 or length > len(self._times):
+            raise ValueError(f"cannot truncate series of {len(self._times)} to {length}")
+        del self._times[length:]
+        del self._values[length:]
+        del self._prefix[length + 1:]
 
     def points(self) -> List[MetricPoint]:
         """All observations as :class:`MetricPoint` objects."""
@@ -125,7 +199,8 @@ class MetricSeries:
         hi = bisect_right(self._times, end)
         if hi <= lo:
             return 0, 0.0
-        return hi - lo, self._prefix[hi] - self._prefix[lo]
+        prefix = self._sync_prefix()
+        return hi - lo, prefix[hi] - prefix[lo]
 
     def window_mean(self, start: float, end: float) -> Optional[float]:
         """Mean of the values in ``(start, end]`` or None if there are none.
@@ -142,11 +217,11 @@ class MetricSeries:
         """Mean over the whole series, or None when empty."""
         if not self._values:
             return None
-        return self._prefix[-1] / len(self._values)
+        return self._sync_prefix()[-1] / len(self._values)
 
     def total(self) -> float:
         """Sum over the whole series."""
-        return self._prefix[-1]
+        return self._sync_prefix()[-1]
 
 
 class MetricsRecorder:

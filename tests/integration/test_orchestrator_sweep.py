@@ -60,6 +60,26 @@ def test_parallel_sweep_isolates_failures(tmp_path):
 
 
 @pytest.mark.slow
+def test_two_process_sweep_is_byte_identical_at_1000_workers():
+    """Serial vs 2-proc byte-identity holds at the 1000-worker scale point.
+
+    The cohort-coalescing fast paths (eager commits, vectorized push fan-out,
+    quiescent-window fast-forward) are exactly the machinery a 1000-worker run
+    leans on hardest, so the determinism proof is re-pinned at that scale: the
+    derived ``scale-120w@workers=1000`` scenario must fingerprint identically
+    under the process pool and under the serial golden path.
+    """
+    from repro.orchestrator import expand_registry
+
+    specs = expand_registry([get_scenario("scale-120w")], workers=[1000])
+    assert [spec.resolve_scale().num_workers for spec in specs] == [1000]
+    parallel = SweepRunner(jobs=2, store=None).run(specs)
+    assert not parallel.errors
+    serial = run_scenario(specs[0])
+    assert parallel.outcomes[0].golden_trace() == serial.golden_trace()
+
+
+@pytest.mark.slow
 def test_warm_cache_full_registry_sweep_runs_zero_simulations(tmp_path):
     """Acceptance: a warm-cache sweep of the whole registry simulates nothing."""
     specs = all_scenarios()

@@ -565,7 +565,7 @@ def test_shard_accounting_survives_server_retired_mid_iteration():
     depths = job.server_queue_depths()
     target_name = max(sorted(depths), key=lambda name: depths[name])
     target = next(server for server in job.servers if server.name == target_name)
-    queued_workers = {request.worker for request in target.queue.items}
+    queued_workers = {request.worker for request in target.pending_requests()}
     assert len(queued_workers) >= 2, "the contended server should hold pushes " \
                                      "from multiple workers mid-iteration"
     audit_allocator(job.allocator, where="before server retirement")
@@ -641,7 +641,8 @@ def test_worker_drain_racing_server_kill_stays_exactly_once():
     assert job.completed
     # No server queue ever holds the departed worker's pushes again.
     for server in job.servers:
-        assert all(request.worker != victim for request in server.queue.items)
+        assert all(request.worker != victim
+                   for request in server.pending_requests())
     summary = verify_exactly_once(job.allocator)
     assert summary["missed"] == 0 and summary["duplicated"] == 0
 

@@ -1,0 +1,118 @@
+"""Event-driven AllReduce vs. the closed-form replay: exact agreement.
+
+The event-driven job must be a *re-implementation of the clock*, not of the
+model: every phase quantity (sync count, period, samples) and the final
+completion time must agree bitwise with :class:`ElasticAllReduceJob`, whether
+the engine fast-forwards the sync stream or steps it tick by tick.
+"""
+
+import pytest
+
+from repro.allreduce.event_driven import EventDrivenAllReduceJob, GroupStateArrays
+from repro.allreduce.job import AllReduceJob
+from repro.allreduce.strategies import antdt_dd_assignment, even_assignment
+from repro.elastic.allreduce import ElasticAllReduceJob, MembershipChange
+from repro.experiments.workloads import make_gpu_groups
+from repro.ml.data.imagenet import mini_imagenet_epoch
+from repro.ml.models.cost_models import MOBILENET_V1
+from repro.perf import EngineStats
+from repro.sim.engine import Environment
+
+
+def make_job(num_v100=4, num_p100=4):
+    groups = make_gpu_groups(num_v100=num_v100, num_p100=num_p100)
+    job = AllReduceJob(groups=groups, model=MOBILENET_V1,
+                       workload=mini_imagenet_epoch(),
+                       global_batch_size=128 * (num_v100 + num_p100))
+    assignments = antdt_dd_assignment(groups, job.global_batch_size,
+                                      MOBILENET_V1.compute_cost)
+    return job, assignments
+
+
+CHANGES = [
+    MembershipChange(after_samples=8_000, group_counts={"P100": 2}),
+    MembershipChange(after_samples=20_000, group_counts={"V100": 6, "P100": 0},
+                     rendezvous_cost_s=12.0),
+]
+
+
+def test_matches_closed_form_fixed_membership():
+    job, assignments = make_job()
+    closed = ElasticAllReduceJob(job).run(assignments)
+    event = EventDrivenAllReduceJob(job).run(assignments)
+    assert event.jct == closed.jct
+    assert event.num_syncs == closed.num_syncs
+    assert event.samples_trained == closed.samples_trained
+    assert len(event.phases) == len(closed.phases) == 1
+
+
+def test_matches_closed_form_elastic_schedule():
+    job, assignments = make_job()
+    closed = ElasticAllReduceJob(job).run(assignments, changes=CHANGES)
+    event = EventDrivenAllReduceJob(job).run(assignments, changes=CHANGES)
+    assert event.jct == closed.jct
+    assert event.rendezvous_total_s == closed.rendezvous_total_s
+    assert event.samples_trained == closed.samples_trained
+    assert len(event.phases) == len(closed.phases)
+    for got, want in zip(event.phases, closed.phases):
+        assert got.group_counts == want.group_counts
+        assert got.num_syncs == want.num_syncs
+        assert got.sync_period_s == want.sync_period_s
+        assert got.samples_per_sync == want.samples_per_sync
+        assert got.duration_s == want.duration_s
+        assert got.samples_trained == want.samples_trained
+
+
+def test_fast_forward_and_stepping_agree():
+    job, assignments = make_job()
+    folded_env = Environment(coalesce=True)
+    stepped_env = Environment(coalesce=False)
+    folded_stats = EngineStats(folded_env)
+    stepped_stats = EngineStats(stepped_env)
+    folded = EventDrivenAllReduceJob(job, env=folded_env).run(
+        assignments, changes=CHANGES)
+    stepped = EventDrivenAllReduceJob(job, env=stepped_env).run(
+        assignments, changes=CHANGES)
+    assert folded.jct == stepped.jct
+    assert folded.num_syncs == stepped.num_syncs
+    assert [p.duration_s for p in folded.phases] == [p.duration_s for p in stepped.phases]
+    # Identical logical events, collapsed physical events: the sync streams
+    # fold into (at most a few) closed-form advances per phase.
+    assert folded_stats.logical == stepped_stats.logical
+    assert stepped_stats.physical >= stepped.num_syncs
+    assert folded_stats.physical < stepped_stats.physical / 10
+
+
+def test_even_assignment_also_agrees():
+    job, _ = make_job(num_v100=3, num_p100=5)
+    assignments = even_assignment(job.groups, 256)
+    closed = ElasticAllReduceJob(job).run(assignments, changes=[CHANGES[0]])
+    event = EventDrivenAllReduceJob(job).run(assignments, changes=[CHANGES[0]])
+    assert event.jct == closed.jct
+    assert event.num_syncs == closed.num_syncs
+
+
+def test_validation_errors():
+    job, assignments = make_job()
+    driver = EventDrivenAllReduceJob(job)
+    with pytest.raises(ValueError, match="increasing"):
+        driver.run(assignments, changes=[CHANGES[1], CHANGES[0]])
+    with pytest.raises(ValueError, match="unknown group"):
+        driver.run(assignments,
+                   changes=[MembershipChange(after_samples=100,
+                                             group_counts={"tpu": 1})])
+    with pytest.raises(ValueError, match="missing"):
+        driver.run(assignments[:1])
+
+
+def test_group_state_arrays_growth():
+    state = GroupStateArrays(1)
+    slots = [state.allocate_slot() for _ in range(5)]
+    assert slots == list(range(5))
+    state.counts[:5] = [2, 0, 3, 1, 0]
+    state.compute_s[:5] = [0.5, 9.0, 0.25, 1.0, 9.0]
+    state.device_samples[:5] = [10, 10, 20, 30, 40]
+    assert state.num_devices() == 6
+    # Absent groups (count 0) never set the period.
+    assert state.sync_compute_s() == 1.0
+    assert state.samples_per_sync() == 2 * 10 + 3 * 20 + 1 * 30

@@ -1,0 +1,165 @@
+"""Quiescent-window fast-forward: PeriodicTask semantics and equivalence.
+
+The engine may only fold periodic ticks when the result is indistinguishable
+from stepping them one by one.  These tests pin that equivalence — tick
+counts, fold summaries, grid times, logical event accounting — across
+coalesce on/off, mixed workloads that suppress the fast-forward, and task
+cancellation mid-run.
+"""
+
+import math
+
+import pytest
+
+from repro.perf import EngineStats
+from repro.sim.engine import Environment, PeriodicTask
+
+
+class TickLog:
+    """Accumulates ticks and folds the way a quiescent consumer would."""
+
+    def __init__(self):
+        self.ticks = 0
+        self.last_when = None
+        self.folds = []
+
+    def on_tick(self, when):
+        self.ticks += 1
+        self.last_when = when
+
+    def on_fold(self, n, last_when):
+        self.ticks += n
+        self.last_when = last_when
+        self.folds.append((n, last_when))
+
+
+def run_periodic(coalesce, until=100.0, interval=0.7, first_at=None):
+    env = Environment(coalesce=coalesce)
+    log = TickLog()
+    stats = EngineStats(env)
+    task = PeriodicTask(env, interval, log.on_tick, log.on_fold, first_at=first_at)
+    env.run(until=until)
+    return env, task, log, stats
+
+
+def test_fast_forward_matches_stepping():
+    env_on, task_on, log_on, stats_on = run_periodic(coalesce=True)
+    env_off, task_off, log_off, stats_off = run_periodic(coalesce=False)
+
+    assert log_on.ticks == log_off.ticks > 0
+    assert log_on.last_when == log_off.last_when
+    assert task_on.ticks_elapsed == task_off.ticks_elapsed
+    assert env_on.now == env_off.now == 100.0
+    # Logical throughput identical; physical pops collapse to (nearly) zero.
+    assert stats_on.logical == stats_off.logical == log_on.ticks
+    assert stats_off.physical == log_off.ticks
+    assert stats_on.physical == 0
+    assert log_on.folds == [(log_on.ticks, log_on.last_when)]
+    assert log_off.folds == []
+
+
+def test_fast_forward_resumes_on_identical_grid():
+    # Two consecutive windows fold; the second continues the first's grid
+    # exactly as tick-by-tick stepping would.
+    env = Environment(coalesce=True)
+    log = TickLog()
+    task = PeriodicTask(env, 0.3, log.on_tick, log.on_fold)
+    env.run(until=10.0)
+    first_window = log.ticks
+    env.run(until=20.0)
+
+    env_off = Environment(coalesce=False)
+    log_off = TickLog()
+    PeriodicTask(env_off, 0.3, log_off.on_tick, log_off.on_fold)
+    env_off.run(until=10.0)
+    env_off.run(until=20.0)
+
+    assert log.ticks == log_off.ticks
+    assert log.last_when == log_off.last_when
+    assert len(log.folds) == 2
+    assert log.folds[0][0] == first_window
+
+
+def test_mixed_queue_suppresses_fast_forward():
+    # While a normal process is live, ticks must step physically; once it
+    # finishes, the remaining window fast-forwards.
+    env = Environment(coalesce=True)
+    log = TickLog()
+    PeriodicTask(env, 1.0, log.on_tick, log.on_fold)
+    stats = EngineStats(env)
+
+    def busy():
+        for _ in range(5):
+            yield env.timeout(2.0)
+
+    env.process(busy())
+    env.run(until=100.0)
+
+    env_off = Environment(coalesce=False)
+    log_off = TickLog()
+    PeriodicTask(env_off, 1.0, log_off.on_tick, log_off.on_fold)
+
+    def busy_off():
+        for _ in range(5):
+            yield env_off.timeout(2.0)
+
+    env_off.process(busy_off())
+    env_off.run(until=100.0)
+
+    assert log.ticks == log_off.ticks == 100
+    assert log.last_when == log_off.last_when == 100.0
+    # The first ten seconds stepped physically (the process's timeouts were
+    # interleaved), the rest folded.
+    assert stats.physical < 100
+    assert sum(n for n, _ in log.folds) == 100 - sum(1 for _ in range(10))
+
+
+def test_first_at_and_stop():
+    env = Environment(coalesce=True)
+    log = TickLog()
+    task = PeriodicTask(env, 2.0, log.on_tick, log.on_fold, first_at=5.0)
+    env.run(until=9.0)
+    assert log.ticks == 3  # 5.0, 7.0, 9.0
+    assert log.last_when == 9.0
+    task.stop()
+    env.run(until=50.0)
+    assert log.ticks == 3
+    assert env.now == 50.0
+
+
+def test_fold_times_stay_on_grid():
+    # The fold summary reports the exact grid time of the last covered tick,
+    # and an until that falls between ticks never folds a future tick.
+    env, task, log, _ = run_periodic(coalesce=True, until=1.0, interval=0.3)
+    # Ticks at 0.3, 0.6, 0.8999999999999999 (grid arithmetic, not drifted
+    # accumulation) — exactly what stepping produces.
+    off_env, off_task, off_log, _ = run_periodic(coalesce=False, until=1.0, interval=0.3)
+    assert log.ticks == off_log.ticks
+    assert log.last_when == off_log.last_when
+    assert log.last_when <= 1.0
+
+
+def test_interval_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        PeriodicTask(env, 0.0, lambda w: None, lambda n, w: None)
+    with pytest.raises(ValueError):
+        PeriodicTask(env, 1.0, lambda w: None, lambda n, w: None, first_at=-1.0)
+
+
+def test_run_to_infinity_steps_do_not_hang():
+    # Without a finite horizon the fast-forward must stay off; stop the task
+    # from inside a tick so the drain terminates.
+    env = Environment(coalesce=True)
+    log = TickLog()
+    holder = {}
+
+    def on_tick(when):
+        log.on_tick(when)
+        if log.ticks >= 7:
+            holder["task"].stop()
+
+    holder["task"] = PeriodicTask(env, 1.5, on_tick, log.on_fold)
+    env.run()
+    assert log.ticks == 7
+    assert env.now == 7 * 1.5
