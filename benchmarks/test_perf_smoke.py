@@ -21,13 +21,22 @@ from repro.perf import PerfReporter, Stopwatch, measure_seed_speedup
 EVENTS_PER_SEC_FLOOR = 20_000.0
 
 
+def _floor_margin(label: str, measured: float) -> str:
+    """Measured-vs-floor message so a floor failure shows how far off it was."""
+    return (f"{label}: measured {measured:,.0f} ev/s vs floor "
+            f"{EVENTS_PER_SEC_FLOOR:,.0f} ev/s "
+            f"({measured / EVENTS_PER_SEC_FLOOR:.2f}x of floor)")
+
+
 def test_perf_smoke_engine_floor_and_report(tmp_path):
     # 1. Engine-only comparison: optimised engine vs. frozen seed snapshot on
     # the identical PS-shaped event workload, interleaved on this machine.
     comparison = measure_seed_speedup(num_workers=BENCH_SCALE.num_workers,
                                       num_servers=BENCH_SCALE.num_servers,
                                       iterations=BENCH_SCALE.iterations, repeats=3)
-    assert comparison["optimized"]["events_per_sec"] >= EVENTS_PER_SEC_FLOOR
+    micro_eps = comparison["optimized"]["events_per_sec"]
+    assert micro_eps >= EVENTS_PER_SEC_FLOOR, _floor_margin(
+        "engine microbench", micro_eps)
     assert comparison["speedup_vs_seed"] > 1.0, (
         "optimised engine no longer beats the seed snapshot: "
         f"{comparison['speedup_vs_seed']:.2f}x"
@@ -44,7 +53,8 @@ def test_perf_smoke_engine_floor_and_report(tmp_path):
     scenario_events = result.engine_events_processed
     assert scenario_events > 0
     scenario_eps = scenario_events / wall if wall > 0 else float("inf")
-    assert scenario_eps >= EVENTS_PER_SEC_FLOOR
+    assert scenario_eps >= EVENTS_PER_SEC_FLOOR, _floor_margin(
+        "bench ND scenario", scenario_eps)
 
     # 3. Reporter round trip into a scratch directory: valid JSON, mergeable.
     path = tmp_path / "BENCH_engine.json"
@@ -79,3 +89,4 @@ def test_perf_smoke_engine_floor_and_report(tmp_path):
           f"({comparison['speedup_vs_seed']:.2f}x)")
     print(f"  bench ND scenario: {scenario_events} events in {wall*1e3:.1f} ms "
           f"({scenario_eps:,.0f} ev/s)")
+    print(f"  floor margin: {_floor_margin('worst stage', min(micro_eps, scenario_eps))}")

@@ -99,6 +99,10 @@ class ElasticExecutor(Protocol):
         """Queued push requests per active server."""
         ...
 
+    def server_shard_weights(self) -> Dict[str, float]:
+        """Per-server heat from hot-key shard weights (empty when uniform)."""
+        ...
+
     def request_server_scale_out(self, count: int, reason: str) -> List[str]:
         """Request additional servers; returns the names actually requested."""
         ...
@@ -158,6 +162,7 @@ class Autoscaler:
         server_names = getattr(executor, "active_server_names", None)
         pending_servers = getattr(executor, "pending_server_count", None)
         queue_depths = getattr(executor, "server_queue_depths", None)
+        shard_weights = getattr(executor, "server_shard_weights", None)
         return ElasticContext(
             now=now,
             active_workers=executor.active_worker_names(),
@@ -177,6 +182,8 @@ class Autoscaler:
             max_servers=cfg.max_servers,
             server_queue_depths=dict(queue_depths()) if queue_depths is not None else {},
             server_long_bpts=self.monitor.server_bpt_means(cfg.long_window_s, now),
+            server_shard_weights=dict(shard_weights())
+            if shard_weights is not None else {},
         )
 
     # -- dispatch -----------------------------------------------------------------

@@ -83,6 +83,10 @@ class ElasticContext:
     max_servers: Optional[int] = None
     server_queue_depths: Dict[str, int] = field(default_factory=dict)
     server_long_bpts: Dict[str, float] = field(default_factory=dict)
+    # Per-server *heat* from the shard map's hot-key weights (owned weight
+    # relative to the uniform share; 1.0 == even).  Empty under uniform
+    # weights, in which case the policies fall back to raw counts.
+    server_shard_weights: Dict[str, float] = field(default_factory=dict)
 
     @property
     def committed_workers(self) -> int:
@@ -138,6 +142,27 @@ class ElasticContext:
         if count <= 0:
             return []
         return list(reversed(self.active_servers[-count:]))
+
+    def weighted_server_depths(self) -> Dict[str, float]:
+        """Queue depth per *active* server, scaled by its hot-shard heat.
+
+        Two deliberate choices: every active server appears — one that never
+        enqueued anything is a drained server at depth 0, not a gap in the
+        mean (excluding it skewed the shrink trigger upward and delayed
+        scale-in) — and with ``server_shard_weights`` present each raw depth
+        is multiplied by the server's heat, so a modest backlog on the
+        server owning the hot keys reads as the large share of pending work
+        it actually is.  Under uniform weights the values are the raw
+        (integer) depths.
+        """
+        weights = self.server_shard_weights
+        depths: Dict[str, float] = {}
+        for server in self.active_servers:
+            depth = self.server_queue_depths.get(server, 0)
+            if weights:
+                depth = depth * weights.get(server, 1.0)
+            depths[server] = depth
+        return depths
 
 
 class AutoscalerPolicy:
@@ -299,6 +324,13 @@ class ServerQueueDepthPolicy(AutoscalerPolicy):
     tier only shrinks once the backlog has drained everywhere.  Scale-out is
     additionally gated on the cluster scheduler being idle enough that the
     pod would arrive in time to help.
+
+    Depths are *weighted* (:meth:`ElasticContext.weighted_server_depths`):
+    with non-uniform shard weights a queue entry on the server owning the
+    hot keys counts for proportionally more, so the policy sees heat where a
+    raw count would under-read the one server that matters; active servers
+    missing from the depth snapshot count as drained (depth 0) rather than
+    being silently excluded from the shrink mean.
     """
 
     name = "server-queue-depth"
@@ -315,9 +347,7 @@ class ServerQueueDepthPolicy(AutoscalerPolicy):
         self.step = int(step)
 
     def decide(self, context: ElasticContext) -> List[Action]:
-        depths = {server: depth
-                  for server, depth in context.server_queue_depths.items()
-                  if server in context.active_servers}
+        depths = context.weighted_server_depths()
         if not depths:
             return []
         max_depth = max(depths.values())
@@ -347,6 +377,12 @@ class ContendedServerPolicy(AutoscalerPolicy):
     the scheduler's pending-time forecast (``max_pending_s``) says the pod
     would arrive soon enough to matter — the server-tier analogue of the
     paper's busy-cluster gate.
+
+    With non-uniform shard weights the observed handling times are first
+    normalised by each server's heat: a server slow *because* it owns the
+    hot keys is loaded, not contended — retiring it only moves the heat to
+    the next owner — so only servers slow beyond what their weight share
+    explains are flagged.
     """
 
     name = "contended-server"
@@ -361,8 +397,15 @@ class ContendedServerPolicy(AutoscalerPolicy):
         self.max_pending_s = float(max_pending_s)
 
     def decide(self, context: ElasticContext) -> List[Action]:
+        weights = context.server_shard_weights
         long = {server: bpt for server, bpt in context.server_long_bpts.items()
                 if server in context.active_servers}
+        if weights:
+            # Heat 0 (a server owning no primary weight) has no hot-key
+            # excuse for slowness; treat it as uniform rather than divide
+            # by zero.
+            long = {server: bpt / (weights.get(server, 1.0) or 1.0)
+                    for server, bpt in long.items()}
         if len(long) < 2 or context.server_shrinkable <= 0:
             return []
         ratio = self.slowness_ratio if self.slowness_ratio is not None \

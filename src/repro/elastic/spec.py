@@ -105,6 +105,16 @@ class ServerElasticSpec:
     min_servers / max_servers:
         Hard membership bounds of the server tier (``min_servers`` never
         drops below 1 — BSP training requires a serving tier).
+    replicas:
+        Warm standbys per parameter shard.  ``0`` (the default) is the
+        pre-replication single-owner behaviour; ``1`` records a primary plus
+        one warm standby per shard, so a server kill or drain promotes the
+        standby instead of paying a full migration and recovery stall.
+    hot_shards:
+        Non-uniform shard weights as ``(shard_id, weight)`` pairs (unlisted
+        shards weigh 1.0) — the declarative form of embedding-table key
+        skew.  Threaded through the migration cost model and the weighted
+        ``server-queue-depth`` / ``contended-server`` policies.
     """
 
     events: Tuple[ScaleEvent, ...] = ()
@@ -112,6 +122,8 @@ class ServerElasticSpec:
     policy_params: Tuple[Tuple[str, object], ...] = ()
     min_servers: int = 1
     max_servers: Optional[int] = None
+    replicas: int = 0
+    hot_shards: Tuple[Tuple[int, float], ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "events", tuple(self.events))
@@ -119,10 +131,22 @@ class ServerElasticSpec:
             self, "policy_params",
             tuple((str(key), _json_normalize(value))
                   for key, value in self.policy_params))
+        object.__setattr__(
+            self, "hot_shards",
+            tuple((int(shard), float(weight))
+                  for shard, weight in self.hot_shards))
         if self.min_servers < 1:
             raise ValueError("min_servers must be at least 1")
         if self.max_servers is not None and self.max_servers < self.min_servers:
             raise ValueError("max_servers must be >= min_servers")
+        if self.replicas < 0:
+            raise ValueError("replicas must be non-negative")
+        if any(shard < 0 for shard, _ in self.hot_shards):
+            raise ValueError("hot shard ids must be non-negative")
+        if any(weight <= 0 for _, weight in self.hot_shards):
+            raise ValueError("hot shard weights must be positive")
+        if len({shard for shard, _ in self.hot_shards}) != len(self.hot_shards):
+            raise ValueError("hot shard ids must be unique")
         if self.policy is not None:
             # Same eager validation (and the same lazy import, for the same
             # reason) as ElasticSpec's worker policy.
@@ -136,17 +160,29 @@ class ServerElasticSpec:
             raise ValueError("policy_params given without a policy")
 
     def __bool__(self) -> bool:
-        return bool(self.events) or self.policy is not None
+        return (bool(self.events) or self.policy is not None
+                or self.replicas > 0 or bool(self.hot_shards))
 
     def to_dict(self) -> Dict[str, object]:
-        """Plain-dict form (JSON-safe); inverse of :meth:`from_dict`."""
-        return {
+        """Plain-dict form (JSON-safe); inverse of :meth:`from_dict`.
+
+        ``replicas`` and ``hot_shards`` are included only when non-default:
+        the canonical JSON of every pre-replication spec — and with it every
+        content-addressed result-store key — must stay byte-identical.
+        """
+        data: Dict[str, object] = {
             "events": [event.to_dict() for event in self.events],
             "policy": self.policy,
             "policy_params": [[key, value] for key, value in self.policy_params],
             "min_servers": self.min_servers,
             "max_servers": self.max_servers,
         }
+        if self.replicas:
+            data["replicas"] = self.replicas
+        if self.hot_shards:
+            data["hot_shards"] = [[shard, weight]
+                                  for shard, weight in self.hot_shards]
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "ServerElasticSpec":
@@ -159,6 +195,9 @@ class ServerElasticSpec:
                 (key, value) for key, value in data.get("policy_params", ())),
             min_servers=data.get("min_servers", 1),
             max_servers=data.get("max_servers"),
+            replicas=data.get("replicas", 0),
+            hot_shards=tuple((shard, weight)
+                             for shard, weight in data.get("hot_shards", ())),
         )
 
 

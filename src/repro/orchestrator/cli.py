@@ -194,6 +194,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         axes["autoscalers"] = args.autoscalers
     if args.server_autoscalers:
         axes["server_autoscalers"] = args.server_autoscalers
+    if args.server_replicas:
+        axes["server_replicas"] = args.server_replicas
     if axes:
         specs = expand_registry(specs, **axes)
         print(f"expanded to {len(specs)} derived scenario(s)", file=sys.stderr)
@@ -344,6 +346,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--server-autoscalers", nargs="+", metavar="POLICY",
                               help="grid axis: server-tier autoscaler policies "
                                    "(requires DDS-based base scenarios)")
+    sweep_parser.add_argument("--server-replicas", nargs="+", type=int,
+                              metavar="N",
+                              help="grid axis: warm standbys per parameter "
+                                   "shard (0 = single-owner; nonzero requires "
+                                   "DDS-based base scenarios)")
     sweep_parser.add_argument("--profile", action="store_true",
                               help="run the sweep under cProfile and print the "
                                    "top-20 cumulative entries to stderr (also "

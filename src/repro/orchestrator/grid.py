@@ -30,7 +30,8 @@ def expand(base: ScenarioSpec,
            scales: Optional[Sequence[str]] = None,
            workers: Optional[Sequence[int]] = None,
            autoscalers: Optional[Sequence[str]] = None,
-           server_autoscalers: Optional[Sequence[str]] = None) -> List[ScenarioSpec]:
+           server_autoscalers: Optional[Sequence[str]] = None,
+           server_replicas: Optional[Sequence[int]] = None) -> List[ScenarioSpec]:
     """Every variant of ``base`` across the given axes (Cartesian product).
 
     Each provided axis replaces the corresponding spec field; ``workers``
@@ -39,7 +40,10 @@ def expand(base: ScenarioSpec,
     rewrites ``elastic.policy`` (keeping the base's schedule, cadence and
     bounds; a base without elastic behaviour gets a default
     :class:`~repro.elastic.spec.ElasticSpec` carrying just the policy), and
-    ``server_autoscalers`` rewrites ``elastic.servers.policy`` the same way.
+    ``server_autoscalers`` rewrites ``elastic.servers.policy`` the same way,
+    and ``server_replicas`` rewrites ``elastic.servers.replicas`` (warm
+    standbys per parameter shard; ``0`` is the single-owner behaviour, and a
+    variant pinning it to 0 on a non-elastic base stays non-elastic).
     Omitted axes keep the base value.  With no axes at all, the base spec
     itself is returned unchanged — ``expand`` composes transparently with
     plain sweeps.
@@ -70,6 +74,9 @@ def expand(base: ScenarioSpec,
     if server_autoscalers is not None:
         axes.append(("server_autoscaler",
                      [str(policy) for policy in server_autoscalers]))
+    if server_replicas is not None:
+        axes.append(("server_replicas",
+                     [int(replicas) for replicas in server_replicas]))
     for axis, values in axes:
         if not values:
             raise ValueError(f"axis {axis!r} must list at least one value")
@@ -81,7 +88,8 @@ def expand(base: ScenarioSpec,
         suffix = ",".join(f"{axis}={value}" for axis, value in changes.items())
         method = changes.get("method", base.method)
         elastic_variant = (base.elastic or "autoscaler" in changes
-                           or "server_autoscaler" in changes)
+                           or "server_autoscaler" in changes
+                           or changes.get("server_replicas", 0) > 0)
         if (elastic_variant and method in PS_METHODS
                 and PS_METHODS[method].allocator != "dds"):
             # This grid point is unrepresentable (elastic membership needs
@@ -110,6 +118,12 @@ def expand(base: ScenarioSpec,
                     servers, policy=server_policy,
                     policy_params=servers.policy_params
                     if servers.policy == server_policy else ()))
+        replicas = changes.pop("server_replicas", None)
+        if replicas is not None:
+            elastic = changes.get(
+                "elastic", base.elastic if base.elastic else ElasticSpec())
+            changes["elastic"] = replace(
+                elastic, servers=replace(elastic.servers, replicas=replicas))
         variants.append(replace(base, name=f"{base.name}@{suffix}", **changes))
     return variants
 

@@ -75,6 +75,10 @@ class PSRunResult:
     reshard_events: List[ReshardEvent] = field(default_factory=list)
     # Final parameter-shard assignment digest (None for server-less jobs).
     shard_map_digest: Optional[str] = None
+    # Warm-standby depth of the shard map (0 = single-owner, pre-replication
+    # behaviour) and the hot-shard weighting summary (None when uniform).
+    shard_replicas: int = 0
+    shard_weights: Optional[Dict[str, object]] = None
     # Engine counters for the perf subsystem (events over the whole run).
     # ``engine_events_processed`` counts *logical* events — per-worker/request
     # semantics, comparable across coalescing-era and pre-coalescing BENCH
@@ -229,6 +233,10 @@ class PSTrainingJob:
         self._next_server_index = cluster.num_servers
         self._pending_server_count = 0
         self._draining_servers: set = set()
+        # Killed primaries whose warm standbys took over: out of the push
+        # rotation until their relaunch completes (empty without replicas).
+        self._recovering_servers: set = set()
+        self._server_replicas = 0
         self._push_targets: Optional[List[ParameterServer]] = None
         self.shard_map = ServerShardMap(
             members=[node.name for node in cluster.servers])
@@ -532,6 +540,8 @@ class PSTrainingJob:
             report_stride_provider=self.active_worker_count,
             requeue_filter=self._worker_requeue_ok,
             drain_handler=self.server_departed,
+            outage_handler=self._server_outage,
+            recovery_handler=self._server_recovered,
             state=self.server_state,
         )
 
@@ -550,13 +560,23 @@ class PSTrainingJob:
 
         Draining servers are excluded the instant their retirement is
         granted; restarting servers stay listed (their queue drains to the
-        relaunched pod).  For a fixed fleet this is simply every server.
+        relaunched pod) — *unless* warm standbys took over their shards, in
+        which case they sit out the rotation until recovery (the whole point
+        of the promotion: no worker waits on the down pod).  For a fixed
+        non-replicated fleet this is simply every server.
         """
         targets = self._push_targets
         if targets is None:
             draining = self._draining_servers
-            targets = self._push_targets = [
-                server for server in self.servers if server.name not in draining]
+            recovering = self._recovering_servers
+            if recovering:
+                targets = [server for server in self.servers
+                           if server.name not in draining
+                           and server.name not in recovering]
+            else:
+                targets = [server for server in self.servers
+                           if server.name not in draining]
+            self._push_targets = targets
         return targets
 
     def push_fanout(self, worker: str, nbytes: float,
@@ -638,6 +658,38 @@ class PSTrainingJob:
         self.elastic_min_servers = min_servers
         self.elastic_max_servers = max_servers
 
+    def configure_server_replication(self, replicas: int = 0,
+                                     hot_shards=()) -> None:
+        """Enable warm-standby replica chains and/or hot-key shard weights.
+
+        Rebuilds the shard map over the same membership with ``replicas``
+        warm standbys per shard and the ``hot_shards`` ``(shard, weight)``
+        pairs.  Must be called before the run starts (the rebuild does not
+        charge migration costs — it models a job *configured* with
+        replication, not a live re-replication).  ``replicas=0`` with no hot
+        shards is exactly the pre-replication single-owner map.
+        """
+        if replicas < 0:
+            raise ValueError("replicas must be non-negative")
+        weights = {int(shard): float(weight) for shard, weight in hot_shards}
+        self._server_replicas = int(replicas)
+        self.shard_map = ServerShardMap(
+            members=self.shard_map.members,
+            num_shards=self.shard_map.num_shards,
+            replicas=int(replicas),
+            shard_weights=weights or None)
+
+    def server_shard_weights(self) -> Dict[str, float]:
+        """Per-server heat from the hot-shard weights (policy input).
+
+        Empty under uniform weights — the rendezvous split is slightly
+        uneven by construction, so exposing heat unconditionally would make
+        the policies see non-1.0 factors on every unweighted run.
+        """
+        if not self.shard_map.has_weights:
+            return {}
+        return self.shard_map.member_heat()
+
     def pending_server_count(self) -> int:
         """Servers requested from the scheduler but not yet placed."""
         return self._pending_server_count
@@ -668,11 +720,12 @@ class PSTrainingJob:
         return name
 
     def _record_reshard(self, kind: str, trigger: str,
-                        moved: List[int], cost_s: float) -> None:
+                        moved: List[int], cost_s: float,
+                        promoted: int = 0) -> None:
         event = ReshardEvent(
             time_s=self.env.now, kind=kind, trigger=trigger,
             moved_shards=len(moved), total_shards=self.shard_map.num_shards,
-            cost_s=cost_s)
+            cost_s=cost_s, promoted_shards=promoted)
         self.reshard_log.append(event)
         self.metrics.log_event(self.env.now, "reshard", trigger,
                                f"{kind}:{len(moved)} shards")
@@ -790,12 +843,35 @@ class PSTrainingJob:
         leaver's unacknowledged push requests are re-routed round-robin to
         the surviving servers — except those of draining/departed workers,
         which stay purged — and the node leaves the membership for good.
+
+        With warm standbys, shards whose chain has a standby are *promoted*
+        rather than migrated — the standby already holds the bytes, so only
+        the cold remainder pays the byte-moving handoff — and the leaver's
+        queue is handed to the promoted shards' new owners instead of being
+        sprayed over the whole surviving tier.
         """
         name = server.name
-        moved = self.shard_map.remove_member(name)
-        cost = self._migration_model.handoff_time(len(moved),
-                                                  self.shard_map.num_shards)
-        self._record_reshard("leave", name, moved, cost)
+        smap = self.shard_map
+        heirs: List[str] = []
+        promoted: List[int] = []
+        for shard in range(smap.num_shards):
+            if smap.owner_of(shard) != name:
+                continue
+            standbys = smap.standbys_of(shard)
+            if standbys:
+                promoted.append(shard)
+                if standbys[0] not in heirs:
+                    heirs.append(standbys[0])
+        moved = smap.remove_member(name)
+        promoted_set = set(promoted)
+        cold = [shard for shard in moved if shard not in promoted_set]
+        cost = self._migration_model.promotion_time(len(promoted)) \
+            + self._migration_model.handoff_time(
+                len(cold), smap.num_shards,
+                weight_fraction=smap.weight_fraction(cold)
+                if smap.has_weights else None)
+        self._record_reshard("leave", name, moved, cost,
+                             promoted=len(promoted))
         if cost > 0:
             yield self.env.timeout(cost)
         self._draining_servers.discard(name)
@@ -803,15 +879,105 @@ class PSTrainingJob:
             self.servers.remove(server)
         self._push_targets = None
         survivors = self.push_targets()
+        heir_set = set(heirs)
+        recipients = [candidate for candidate in survivors
+                      if candidate.name in heir_set] or survivors
         rerouted = [request for request in leftover
                     if not request.done.triggered
                     and self._worker_requeue_ok(request.worker)]
         for index, request in enumerate(rerouted):
-            survivors[index % len(survivors)].enqueue(request)
+            recipients[index % len(recipients)].enqueue(request)
         self.cluster.remove_node(name)
         now = self.env.now
         self.server_membership.record(now, LEFT, name)
         self.metrics.log_event(now, "server_left", name, f"rerouted {len(rerouted)}")
+
+    def _server_outage(self, server: ParameterServer,
+                       undelivered: List["PushRequest"]) -> bool:
+        """Kill-path promotion hook: standbys take over a down primary's shards.
+
+        Called synchronously from the killed server's interrupt handler,
+        *before* its relaunch.  Returns False — leaving the pre-replication
+        behaviour (requeue locally, workers wait out the recovery stall) —
+        unless warm standbys are configured and at least one live standby
+        owner exists to promote.  On True: the dead primary rotates to the
+        tail of every chain it led, it leaves the push rotation until
+        recovery, and its unacknowledged requests are re-delivered to the
+        promoted owners after the (cheap) promotion cost.
+        """
+        if self._server_replicas <= 0 or self.completed:
+            return False
+        name = server.name
+        smap = self.shard_map
+        heirs: List[str] = []
+        for shard in range(smap.num_shards):
+            if smap.owner_of(shard) != name:
+                continue
+            standbys = smap.standbys_of(shard)
+            if standbys and standbys[0] not in heirs:
+                heirs.append(standbys[0])
+        heir_set = set(heirs)
+        recipients = [candidate for candidate in self.push_targets()
+                      if candidate.name in heir_set
+                      and candidate.node.is_running]
+        if not recipients:
+            return False
+        promoted = smap.promote_standbys(name)
+        if not promoted:
+            return False
+        self._recovering_servers.add(name)
+        self._push_targets = None
+        pending = list(undelivered)
+        items = server.queue.items
+        if items:
+            pending.extend(items)
+            items.clear()
+        rerouted = [request for request in pending
+                    if not request.done.triggered
+                    and self._worker_requeue_ok(request.worker)]
+        cost = self._migration_model.promotion_time(len(promoted))
+        self._record_reshard("promotion", name, promoted, cost,
+                             promoted=len(promoted))
+        self.metrics.log_event(self.env.now, "server_promotion", name,
+                               f"rerouted {len(rerouted)}")
+        self.env.process(self._deliver_promoted(recipients, rerouted, cost))
+        return True
+
+    def _deliver_promoted(self, recipients: List[ParameterServer],
+                          rerouted: List["PushRequest"], cost_s: float):
+        """Simulation process: pay the promotion cost, then hand the dead
+        primary's surviving requests to the promoted owners round-robin."""
+        if cost_s > 0:
+            yield self.env.timeout(cost_s)
+        draining = self._draining_servers
+        live = [candidate for candidate in recipients
+                if candidate.node.is_running and candidate.name not in draining]
+        if not live:
+            live = [candidate for candidate in self.push_targets()
+                    if candidate.node.is_running]
+        if not live:
+            return
+        index = 0
+        for request in rerouted:
+            if request.done.triggered or not self._worker_requeue_ok(request.worker):
+                continue
+            live[index % len(live)].enqueue(request)
+            index += 1
+
+    def _server_recovered(self, server: ParameterServer) -> None:
+        """Recovery hook: a promoted-away primary finished its relaunch.
+
+        The pod rejoins the push rotation — as the standby at the tail of
+        its former chains; serving ownership stays with the promoted
+        survivors (no promotion back, no second handoff).  No-op for servers
+        that were never promoted away (the pre-replication restart path).
+        """
+        name = server.name
+        if name not in self._recovering_servers:
+            return
+        self._recovering_servers.discard(name)
+        self._push_targets = None
+        self.metrics.log_event(self.env.now, "server_recovered", name)
 
     def set_backup_workers(self, num_backup: int) -> None:
         """Configure the number of slowest gradients dropped per iteration."""
@@ -897,6 +1063,8 @@ class PSTrainingJob:
             server_membership_events=self.server_membership.events,
             reshard_events=list(self.reshard_log),
             shard_map_digest=self.shard_map.digest() if self.servers else None,
+            shard_replicas=self._server_replicas,
+            shard_weights=self.shard_map.weights_summary(),
             engine_events_scheduled=self.env.scheduled_count,
             engine_events_processed=self.env.processed_count + self.env.coalesced_count,
             engine_events_physical=self.env.processed_count,

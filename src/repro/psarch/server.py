@@ -190,6 +190,8 @@ class ParameterServer:
         report_stride_provider: Optional[Callable[[], int]] = None,
         requeue_filter: Optional[Callable[[str], bool]] = None,
         drain_handler: Optional[Callable[["ParameterServer", List[PushRequest]], object]] = None,
+        outage_handler: Optional[Callable[["ParameterServer", List[PushRequest]], bool]] = None,
+        recovery_handler: Optional[Callable[["ParameterServer"], None]] = None,
         state: Optional[ServerStateArrays] = None,
     ) -> None:
         self.env = env
@@ -210,6 +212,12 @@ class ParameterServer:
         # Elastic retirement: receives (server, leftover requests) as a
         # simulation sub-process and completes the departure.
         self._drain_handler = drain_handler
+        # Warm-standby promotion: on a kill the job may take over this
+        # server's unacknowledged requests (returning True) instead of
+        # letting them wait out the local restart; called again (recovery)
+        # when the relaunch completes so the job can re-admit the server.
+        self._outage_handler = outage_handler
+        self._recovery_handler = recovery_handler
         self.queue: Store = env.store()
         # Per-server scalar state lives in the job-owned columnar arrays
         # (chain tail, handled counter, eligibility); a server constructed
@@ -556,15 +564,23 @@ class ParameterServer:
                 # good, and resurrecting one here would burn handling time on
                 # a gradient nobody confirms and count down an abandoned
                 # latch (the kill-restart-races-scale-in bug).
+                #
+                # With warm standbys wired, the job may instead take over the
+                # unacknowledged requests (promoting each shard's standby
+                # owner); the local queue then stays empty until recovery.
                 code = cause if isinstance(cause, ErrorCode) else ErrorCode.PROACTIVE_KILL
-                requeue_filter = self._requeue_filter
-                for request in reversed(undelivered):
-                    if requeue_filter is None or requeue_filter(request.worker):
-                        self.queue.put_left(request)
+                outage_handler = self._outage_handler
+                if outage_handler is None or not outage_handler(self, undelivered):
+                    requeue_filter = self._requeue_filter
+                    for request in reversed(undelivered):
+                        if requeue_filter is None or requeue_filter(request.worker):
+                            self.queue.put_left(request)
                 yield from self.scheduler.relaunch(self.node, code)
                 yield self.env.timeout(self.config.server_recovery_time_s)
                 self.agent.reset_after_restart()
                 self._restart_requested = False
+                if self._recovery_handler is not None:
+                    self._recovery_handler(self)
 
     # -- coalesced windows ---------------------------------------------------------
     def _open_plan(self, first_ack: float, handled_before: Optional[int] = None) -> _BatchPlan:

@@ -96,30 +96,54 @@ def fingerprint(spec: "ScenarioSpec", result: "PSRunResult",
         "failures": failures,
         "workers": workers,
     }
-    if result.membership_events or result.server_membership_events:
+    if (result.membership_events or result.server_membership_events
+            or result.reshard_events):
         # Elastic membership churn is part of the pinned behaviour.  The key
         # is added only when churn occurred, so every fixed-fleet trace stays
-        # byte-identical to its pre-elastic form.
+        # byte-identical to its pre-elastic form.  (A warm-standby promotion
+        # resharding without membership churn — a killed primary — counts:
+        # pre-replication runs cannot produce reshard events without server
+        # membership events, so the extra trigger changes no existing trace.)
         payload["elastic"] = _membership_section(result.membership_events)
-    if result.server_membership_events:
+    if result.server_membership_events or result.reshard_events:
         # Server-tier churn and the shard re-partitionings it caused.  Both
         # sub-keys appear only when the serving membership actually changed,
         # so every pre-existing trace — fixed-fleet and worker-elastic alike
         # — keeps its exact bytes.
-        payload["elastic"]["servers"] = _membership_section(
-            result.server_membership_events)
-        payload["elastic"]["resharding"] = {
+        if result.server_membership_events:
+            payload["elastic"]["servers"] = _membership_section(
+                result.server_membership_events)
+        resharding: Dict[str, object] = {
             "events": [
-                {"time_s": _round(event.time_s), "kind": event.kind,
-                 "trigger": event.trigger, "moved_shards": event.moved_shards,
-                 "cost_s": _round(event.cost_s)}
-                for event in result.reshard_events
+                _reshard_event(event) for event in result.reshard_events
             ],
             "total_moved_shards": sum(event.moved_shards
                                       for event in result.reshard_events),
             "shard_map_digest": result.shard_map_digest,
         }
+        # Replication/weighting keys appear only when the feature is on, so
+        # replicas=0 uniform-weight traces keep their exact bytes.
+        promoted_total = sum(event.promoted_shards
+                             for event in result.reshard_events)
+        if promoted_total:
+            resharding["promoted_total"] = promoted_total
+        if result.shard_replicas:
+            resharding["replicas"] = result.shard_replicas
+        if result.shard_weights:
+            resharding["shard_weights"] = result.shard_weights
+        payload["elastic"]["resharding"] = resharding
     return payload
+
+
+def _reshard_event(event) -> Dict[str, object]:
+    """Serialize one reshard event (``promoted_shards`` only when nonzero)."""
+    data: Dict[str, object] = {
+        "time_s": _round(event.time_s), "kind": event.kind,
+        "trigger": event.trigger, "moved_shards": event.moved_shards,
+        "cost_s": _round(event.cost_s)}
+    if event.promoted_shards:
+        data["promoted_shards"] = event.promoted_shards
+    return data
 
 
 def _membership_section(membership_events) -> Dict[str, object]:

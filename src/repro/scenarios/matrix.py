@@ -173,6 +173,9 @@ def _arm_elastic(job: PSTrainingJob, spec: ScenarioSpec) -> None:
                           max_workers=elastic.max_workers)
     job.configure_elastic_servers(min_servers=servers.min_servers,
                                   max_servers=servers.max_servers)
+    if servers.replicas or servers.hot_shards:
+        job.configure_server_replication(replicas=servers.replicas,
+                                         hot_shards=servers.hot_shards)
     if elastic.policy is not None or servers.policy is not None:
         policy = (make_policy(elastic.policy, **dict(elastic.policy_params))
                   if elastic.policy is not None else None)

@@ -458,6 +458,53 @@ register_scenario(ScenarioSpec(
     tags=("non-dedicated", "elastic", "elastic-server", "asp"),
 ))
 
+# -- warm-standby replication and hot-key weighting -------------------------
+#: The shards server-2 owns under the default 3-server rendezvous split (a
+#: pure function of the member/shard names), weighted as the hot keys: the
+#: contended server of ``server_scenario`` is ``servers[-1]``, so the skew
+#: lands exactly on the server whose modest raw backlog the unweighted
+#: count-based policy under-reads.
+HOT_SHARDS = tuple(
+    (shard, 6.0) for shard in (1, 6, 7, 10, 12, 13, 14, 20, 30, 36, 39,
+                               42, 45, 46, 51, 55, 59, 60))
+register_scenario(ScenarioSpec(
+    name="replicated-server-kill-promotion",
+    method="antdt-nd",
+    seed=25,
+    failures=FailureTraceSpec(events=(
+        FailureEvent(time_s=50.0, node="server-1",
+                     code=ErrorCode.JOB_EVICTION.value),
+    )),
+    elastic=ElasticSpec(servers=ServerElasticSpec(replicas=1)),
+    description="The server-eviction scenario with one warm standby per "
+                "shard: the evicted primary's shards are *promoted* to their "
+                "standbys (cheap coordination cost, no queue stall behind the "
+                "recovering pod) and the pod rejoins the rotation as a "
+                "standby after its relaunch.",
+    tags=("dedicated", "failures", "server", "replication"),
+))
+
+register_scenario(ScenarioSpec(
+    name="hot-key-queue-autoscale",
+    method="asp-dds",
+    seed=26,
+    topology=TopologySpec(dedicated=False),
+    stragglers=server_scenario(0.8),
+    elastic=ElasticSpec(
+        interval_s=20.0, cooldown_s=40.0,
+        servers=ServerElasticSpec(policy="server-queue-depth",
+                                  policy_params=(("scale_out_depth", 4.0),
+                                                 ("scale_in_depth", 0.25)),
+                                  max_servers=5,
+                                  hot_shards=HOT_SHARDS)),
+    description="Hot-key skew concentrated on the contended server's shards: "
+                "the weighted server-queue-depth policy reads its modest raw "
+                "backlog as the dominant share of pending work and scales "
+                "the tier out where the unweighted count-based policy "
+                "(scale_out_depth above every raw depth) never triggers.",
+    tags=("non-dedicated", "elastic", "elastic-server", "asp", "replication"),
+))
+
 # -- scale ------------------------------------------------------------------
 register_scenario(ScenarioSpec(
     name="scale-120w",

@@ -1,0 +1,103 @@
+"""Property-based tests for the replicated rendezvous shard map.
+
+Two invariants carry the whole replication design:
+
+* **Primary compatibility** — replica 0 of every shard is exactly what the
+  pre-replication single-owner map assigns, after *any* interleaving of
+  joins and leaves.  This is what lets ``replicas=0`` reproduce every golden
+  trace byte for byte and makes turning replication on a pure superset.
+* **Minimal disruption** — a join touches only the chains the newcomer
+  enters, a leave only the chains the leaver occupied; every other
+  (shard -> chain) entry is carried over untouched, and the survivors keep
+  their relative order when ranks close.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.elastic import ServerShardMap, verify_shard_coverage
+
+_NAMES = st.text(alphabet="abcdefghij-0123456789", min_size=1, max_size=8)
+
+
+@st.composite
+def membership_sequences(draw):
+    """A valid interleaving of join/leave ops over generated member names."""
+    pool = draw(st.lists(_NAMES, min_size=1, max_size=8, unique=True))
+    ops = []
+    present = set()
+    for _ in range(draw(st.integers(min_value=1, max_value=12))):
+        absent = [name for name in pool if name not in present]
+        if present and (not absent or draw(st.booleans())):
+            name = draw(st.sampled_from(sorted(present)))
+            present.discard(name)
+            ops.append(("leave", name))
+        elif absent:
+            name = draw(st.sampled_from(absent))
+            present.add(name)
+            ops.append(("join", name))
+    return ops
+
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(ops=membership_sequences(),
+       replicas=st.integers(min_value=1, max_value=3),
+       num_shards=st.integers(min_value=1, max_value=32))
+def test_replica_zero_tracks_the_single_owner_map(ops, replicas, num_shards):
+    plain = ServerShardMap(num_shards=num_shards)
+    replicated = ServerShardMap(num_shards=num_shards, replicas=replicas)
+    for op, name in ops:
+        if op == "join":
+            plain.add_member(name)
+            replicated.add_member(name)
+        else:
+            plain.remove_member(name)
+            replicated.remove_member(name)
+        members = replicated.members
+        assert sorted(members) == sorted(plain.members)
+        for shard in range(num_shards):
+            chain = replicated.chain_of(shard)
+            assert chain[:1] == ([plain.owner_of(shard)] if plain.owner_of(shard)
+                                 else [])
+            # Chains are as deep as the membership allows, never deeper, and
+            # never repeat a member.
+            assert len(chain) == min(replicas + 1, len(members))
+            assert len(set(chain)) == len(chain)
+        if members:
+            verify_shard_coverage(replicated, members)
+
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(ops=membership_sequences(),
+       replicas=st.integers(min_value=0, max_value=3),
+       num_shards=st.integers(min_value=1, max_value=32))
+def test_membership_changes_touch_only_the_changed_chains(ops, replicas,
+                                                          num_shards):
+    shard_map = ServerShardMap(num_shards=num_shards, replicas=replicas)
+    for op, name in ops:
+        before = {shard: shard_map.chain_of(shard)
+                  for shard in range(num_shards)}
+        if op == "join":
+            entered = set(shard_map.add_member(name))
+            for shard in range(num_shards):
+                chain = shard_map.chain_of(shard)
+                if shard in entered:
+                    assert name in chain
+                    # The incumbents the newcomer did not evict keep their
+                    # relative order around the insertion point.
+                    assert [m for m in chain if m != name] \
+                        == before[shard][:len(chain) - 1]
+                else:
+                    assert name not in chain
+                    assert chain == before[shard]
+        else:
+            moved = set(shard_map.remove_member(name))
+            assert moved == {shard for shard in range(num_shards)
+                             if before[shard][:1] == [name]}
+            for shard in range(num_shards):
+                chain = shard_map.chain_of(shard)
+                assert name not in chain
+                if name not in before[shard]:
+                    assert chain == before[shard]
+                else:
+                    survivors = [m for m in before[shard] if m != name]
+                    assert chain[:len(survivors)] == survivors

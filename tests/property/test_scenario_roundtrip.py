@@ -101,6 +101,11 @@ def server_elastic_specs(draw):
         params = (("scale_out_depth", draw(st.floats(
             min_value=1.0, max_value=64.0, allow_nan=False))),)
     min_servers = draw(st.integers(min_value=1, max_value=4))
+    hot_shards = tuple(
+        (shard, draw(st.floats(min_value=0.5, max_value=16.0,
+                               allow_nan=False, exclude_min=True)))
+        for shard in draw(st.lists(st.integers(min_value=0, max_value=63),
+                                   max_size=4, unique=True)))
     return ServerElasticSpec(
         events=tuple(draw(st.lists(scale_events(), max_size=3))),
         policy=policy,
@@ -108,6 +113,8 @@ def server_elastic_specs(draw):
         min_servers=min_servers,
         max_servers=draw(st.one_of(
             st.none(), st.integers(min_value=min_servers, max_value=64))),
+        replicas=draw(st.integers(min_value=0, max_value=3)),
+        hot_shards=hot_shards,
     )
 
 

@@ -260,8 +260,20 @@ def test_queue_depth_policy_scales_in_on_drained_queues():
     assert actions[0].node_names == ("server-2",)  # the newest
     # The floor blocks the retirement.
     assert policy.decide(_server_context(min_servers=3)) == []
-    # No data at all: no decision.
-    assert policy.decide(_server_context(server_queue_depths={})) == []
+    # Active servers missing from the depth snapshot are *drained* (depth 0),
+    # not excluded: an empty snapshot over a live tier means every queue is
+    # empty, so the tier scales in.  (The old behaviour silently dropped
+    # absent servers from the mean, skewing it upward and delaying scale-in.)
+    drained = policy.decide(_server_context(server_queue_depths={}))
+    assert len(drained) == 1 and isinstance(drained[0], ScaleInServers)
+    # A server that never enqueued must not inflate the mean: two absent
+    # (drained) servers against one shallow queue still average under the
+    # threshold.
+    skew = policy.decide(_server_context(server_queue_depths={"server-0": 1}))
+    assert len(skew) == 1 and isinstance(skew[0], ScaleInServers)
+    # With no active servers at all there is still no decision.
+    assert policy.decide(_server_context(active_servers=[],
+                                         server_queue_depths={})) == []
     with pytest.raises(ValueError):
         ServerQueueDepthPolicy(scale_out_depth=1.0, scale_in_depth=2.0)
 
