@@ -8,7 +8,7 @@ PYTHONPATH_PREFIX = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 ## Parallel worker processes for orchestrated sweeps (python -m repro).
 JOBS ?= 2
 
-.PHONY: test tier1 fast golden golden-check golden-update sweep bench bench-smoke ci
+.PHONY: test tier1 fast golden golden-check golden-update sweep bench bench-smoke trace-smoke ci
 
 ## Full tier-1 suite (what the PR gate runs): unit + integration + property +
 ## golden traces + benchmarks.
@@ -17,7 +17,7 @@ test:
 
 ## Exactly what .github/workflows/ci.yml runs — one local command to know
 ## the gate will pass before pushing.
-ci: test golden-check
+ci: test golden-check trace-smoke
 
 ## Only the tests/ tree (skips the benchmark harness).
 tier1:
@@ -52,6 +52,13 @@ sweep:
 ## Regenerate BENCH_engine.json (perf trajectory file).
 bench:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/test_perf_smoke.py benchmarks/test_perf_scale_sweep.py -q -s
+
+## Tracing smoke (run in CI): trace one autoscaled scenario, validate the
+## Chrome trace-event JSON against the schema, and assert a non-empty
+## autoscaler decision log (--validate does both checks).
+trace-smoke:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro trace elastic-server-queue-autoscale \
+		--trace-dir .repro-traces --validate
 
 ## Perf floor (run in CI): the smoke benchmarks assert absolute events/sec
 ## floors and wall-clock budgets sized for slow shared runners — a real

@@ -22,10 +22,19 @@ from typing import Callable, Dict, List, Optional, Protocol
 
 from ..core.actions import Action, ScaleIn, ScaleInServers, ScaleOut, ScaleOutServers
 from ..core.monitor import Monitor
+from ..obs.recorder import NULL_RECORDER, Decision
 from ..sim.engine import Environment
 from .policies import AutoscalerPolicy, ElasticContext
 
 __all__ = ["AutoscalerConfig", "ElasticExecutor", "Autoscaler"]
+
+#: Trace verdict recorded when an action of this type is granted.
+_ACTION_VERDICTS = {
+    ScaleOut: "scale-out",
+    ScaleIn: "scale-in",
+    ScaleOutServers: "scale-out-servers",
+    ScaleInServers: "scale-in-servers",
+}
 
 
 @dataclass
@@ -126,11 +135,13 @@ class Autoscaler:
         busy_provider: Optional[Callable[[], bool]] = None,
         pending_time_provider: Optional[Callable[[], float]] = None,
         server_policy: Optional[AutoscalerPolicy] = None,
+        recorder: Optional[object] = None,
     ) -> None:
         if policy is None and server_policy is None:
             raise ValueError("an autoscaler needs a worker policy, a server "
                              "policy, or both")
         self.env = env
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.monitor = monitor
         self.policy = policy
         self.server_policy = server_policy
@@ -213,19 +224,101 @@ class Autoscaler:
             self._last_scale_time = self.env.now
         return granted
 
+    # -- tracing helpers ----------------------------------------------------------
+    def _record_gauges(self, context: ElasticContext) -> None:
+        """Sample fleet/server gauges from one decision's frozen context.
+
+        Sampling at decision rounds (rather than on every push) keeps the
+        gauge stream mode-invariant: the context snapshot is pinned by the
+        fingerprint across coalesce modes and serial/parallel sweeps.
+        """
+        recorder = self.recorder
+        now = context.now
+        recorder.gauge("fleet", "active-workers", now, len(context.active_workers))
+        recorder.gauge("fleet", "pending-workers", now, context.pending_workers)
+        recorder.gauge("fleet", "remaining-samples", now, context.remaining_samples)
+        if context.active_servers or context.pending_servers:
+            recorder.gauge("fleet", "active-servers", now,
+                           len(context.active_servers))
+            recorder.gauge("fleet", "pending-servers", now,
+                           context.pending_servers)
+        for server in sorted(context.server_queue_depths):
+            recorder.gauge(server, "queue-depth", now,
+                           context.server_queue_depths[server])
+        for server in sorted(context.server_shard_weights):
+            recorder.gauge(server, "shard-heat", now,
+                           context.server_shard_weights[server])
+
+    @staticmethod
+    def _tier_inputs(context: ElasticContext, tier: str) -> Dict[str, object]:
+        """The policy-relevant context slice stored on a decision record."""
+        inputs: Dict[str, object] = {
+            "cluster_busy": context.cluster_busy,
+            "pending_time_s": round(context.pending_time_s, 6),
+        }
+        if tier == "workers":
+            inputs["active_workers"] = len(context.active_workers)
+            inputs["pending_workers"] = context.pending_workers
+            inputs["remaining_samples"] = context.remaining_samples
+        else:
+            depths = context.server_queue_depths
+            inputs["active_servers"] = len(context.active_servers)
+            inputs["pending_servers"] = context.pending_servers
+            inputs["queue_depth_max"] = max(depths.values()) if depths else 0
+            inputs["queue_depth_total"] = sum(depths.values())
+        return inputs
+
     def control_step(self) -> List[Action]:
         """Run one decision round immediately (used by tests and :meth:`run`)."""
-        self.decision_times.append(self.env.now)
+        now = self.env.now
+        self.decision_times.append(now)
+        recorder = self.recorder
+        pairs = [(tier, pol) for tier, pol in (("workers", self.policy),
+                                               ("servers", self.server_policy))
+                 if pol is not None]
         if self._in_cooldown():
+            if recorder.enabled:
+                cooldown = self.config.cooldown_s
+                remaining = cooldown - (now - self._last_scale_time)
+                reason = (f"cooldown: {remaining:.1f}s of {cooldown:.1f}s "
+                          "remaining after the last granted action")
+                for tier, pol in pairs:
+                    recorder.decision(Decision(
+                        time_s=now, tier=tier, policy=pol.name,
+                        verdict="cooldown", reason=reason))
             return []
         context = self.build_context()
+        if recorder.enabled:
+            self._record_gauges(context)
         actions: List[Action] = []
-        if self.policy is not None:
-            actions.extend(self.policy.decide(context))
-        if self.server_policy is not None:
-            actions.extend(self.server_policy.decide(context))
-        for action in actions:
-            self.dispatch(action)
+        # The dispatch interleave (worker actions before the server policy
+        # runs) is behavior-identical to collect-then-dispatch: ``decide``
+        # consumes only the frozen context snapshot, never live executor
+        # state, so the action/granted logs keep their historical order.
+        for tier, pol in pairs:
+            decided = list(pol.decide(context))
+            if not decided and recorder.enabled:
+                recorder.decision(Decision(
+                    time_s=now, tier=tier, policy=pol.name, verdict="hold",
+                    reason="no action: signals within thresholds",
+                    inputs=self._tier_inputs(context, tier)))
+            for action in decided:
+                granted = self.dispatch(action)
+                if recorder.enabled:
+                    requested = tuple(getattr(action, "node_names", ()))
+                    count = int(getattr(action, "num_workers", 0)
+                                or getattr(action, "num_servers", 0)
+                                or len(requested))
+                    recorder.decision(Decision(
+                        time_s=now, tier=tier, policy=pol.name,
+                        verdict=(_ACTION_VERDICTS[type(action)] if granted
+                                 else "denied"),
+                        reason=action.reason,
+                        inputs=self._tier_inputs(context, tier),
+                        requested=requested,
+                        granted=tuple(granted),
+                        count=count))
+            actions.extend(decided)
         return actions
 
     # -- simulated control loop ------------------------------------------------------

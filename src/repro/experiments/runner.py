@@ -68,6 +68,9 @@ class PSExperiment:
     # equivalence property test — so this exists for debugging and for
     # verifying that equivalence, not for correctness.
     coalesce: Optional[bool] = None
+    # Observability: a TraceRecorder collecting spans/gauges/decisions for
+    # this run (None = the zero-overhead NullRecorder; see repro.obs).
+    recorder: Optional[object] = None
 
     def build_job(self) -> PSTrainingJob:
         """Assemble the simulation environment and the training job."""
@@ -131,11 +134,21 @@ class PSExperiment:
             scheduler=scheduler,
             metrics=metrics,
             evaluate_after_run=self.evaluate_after_run,
+            recorder=self.recorder,
         )
 
     def run(self) -> PSRunResult:
-        """Build and run the experiment."""
-        return self.build_job().run()
+        """Build and run the experiment.
+
+        Honors ``REPRO_PROFILE``: set it (to anything but ``0``) and the run
+        executes under cProfile with the hot-spot table on stderr — the same
+        convention the sweep CLI's ``--profile`` flag uses.  Sweep subprocesses
+        call :meth:`build_job` directly, so a profiled sweep is never
+        double-profiled through this path.
+        """
+        from ..perf.profiling import maybe_profiled
+
+        return maybe_profiled(lambda: self.build_job().run())
 
 
 def run_ps_experiment(

@@ -1,0 +1,47 @@
+"""Deterministic observability (``repro.obs``).
+
+Simulation-time tracing and metrics for the whole stack: a
+:class:`~repro.obs.recorder.TraceRecorder` with span/gauge/counter/event
+APIs keyed by simulation time, an autoscaler decision log, and exporters to
+JSONL and Chrome trace-event JSON (viewable in Perfetto).  Tracing off is the
+:data:`~repro.obs.recorder.NULL_RECORDER` default and costs nothing; tracing
+on is passive and byte-deterministic across serial/parallel sweeps and both
+coalesce modes.  See the "Observability" section of README.md.
+"""
+
+from .export import (
+    TRACE_FORMAT,
+    export_chrome_trace,
+    export_jsonl,
+    validate_chrome_trace,
+)
+from .recorder import NULL_RECORDER, Decision, NullRecorder, TraceRecorder
+
+# The capture drivers import the scenario/orchestrator layers, which in turn
+# import modules that use ``repro.obs.recorder`` — loading them lazily keeps
+# ``from repro.obs.recorder import NULL_RECORDER`` safe from low-level code.
+_CAPTURE_EXPORTS = ("TraceCapture", "capture_trace", "run_trace_sweep",
+                    "trace_payload")
+
+
+def __getattr__(name: str):
+    if name in _CAPTURE_EXPORTS:
+        from . import capture
+
+        return getattr(capture, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Decision",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "TRACE_FORMAT",
+    "TraceCapture",
+    "TraceRecorder",
+    "capture_trace",
+    "export_chrome_trace",
+    "export_jsonl",
+    "run_trace_sweep",
+    "trace_payload",
+    "validate_chrome_trace",
+]

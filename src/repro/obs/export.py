@@ -1,0 +1,166 @@
+"""Trace exporters: canonical JSONL and Chrome trace-event JSON.
+
+Both exporters serialize the recorder's deterministic
+``(time, track, sequence)`` record order with sorted keys and fixed
+separators, so a fixed spec and seed produces byte-identical output across
+serial vs parallel sweeps and coalesce on vs off.
+
+* :func:`export_jsonl` — one compact JSON object per line, a header line
+  first.  The grep-friendly form, and what the determinism tests compare.
+* :func:`export_chrome_trace` — the Chrome trace-event JSON format
+  (``traceEvents`` with ``X`` complete spans, ``C`` counters, ``i`` instants
+  and ``M`` thread-name metadata).  Load the file at https://ui.perfetto.dev
+  to browse the run on a timeline; one "thread" per track, timestamps in
+  microseconds of simulation time.
+* :func:`validate_chrome_trace` — a structural schema check the trace-smoke
+  CI step runs against the exported document.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .recorder import TraceRecorder
+
+__all__ = ["TRACE_FORMAT", "export_jsonl", "export_chrome_trace",
+           "validate_chrome_trace"]
+
+#: Format tag written into every trace header (bump on breaking changes).
+TRACE_FORMAT = "repro-trace/1"
+
+#: One shared fake process id: the whole simulation is one logical process.
+_PID = 1
+
+
+def _dumps(obj: object) -> str:
+    """Canonical compact JSON: sorted keys, no whitespace padding."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def export_jsonl(recorder: TraceRecorder, scenario: str,
+                 spec_key: Optional[str] = None) -> str:
+    """The recorder's records as canonical JSONL (header line first)."""
+    header: Dict[str, object] = {
+        "kind": "header", "format": TRACE_FORMAT, "scenario": scenario,
+        "records": len(recorder), "decisions": len(recorder.decisions),
+    }
+    if spec_key is not None:
+        header["spec_key"] = spec_key
+    lines = [_dumps(header)]
+    lines.extend(_dumps(record) for record in recorder.sorted_records())
+    return "\n".join(lines) + "\n"
+
+
+def _microseconds(seconds: float) -> float:
+    # Chrome trace-event timestamps are microseconds; rounding keeps the
+    # serialized floats free of binary-multiplication noise.
+    return round(seconds * 1e6, 3)
+
+
+def export_chrome_trace(recorder: TraceRecorder, scenario: str) -> str:
+    """The recorder's records as a Chrome trace-event JSON document."""
+    records = recorder.sorted_records()
+    tracks = sorted({str(record["track"]) for record in records})
+    tid = {track: index + 1 for index, track in enumerate(tracks)}
+    events: List[Dict[str, object]] = [{
+        "ph": "M", "pid": _PID, "tid": 0,
+        "name": "process_name", "args": {"name": scenario},
+    }]
+    for track in tracks:
+        events.append({
+            "ph": "M", "pid": _PID, "tid": tid[track],
+            "name": "thread_name", "args": {"name": track},
+        })
+    for record in records:
+        kind = record["kind"]
+        track_id = tid[str(record["track"])]
+        if kind == "span":
+            start = float(record["t0"])
+            event: Dict[str, object] = {
+                "ph": "X", "pid": _PID, "tid": track_id,
+                "name": record["name"], "cat": record.get("cat", "span"),
+                "ts": _microseconds(start),
+                "dur": _microseconds(float(record["t1"]) - start),
+            }
+            if "args" in record:
+                event["args"] = record["args"]
+        elif kind in ("gauge", "counter"):
+            event = {
+                "ph": "C", "pid": _PID, "tid": track_id,
+                "name": f"{record['track']}/{record['name']}",
+                "ts": _microseconds(float(record["t"])),
+                "args": {str(record["name"]): record["value"]},
+            }
+        elif kind == "decision":
+            args = {key: value for key, value in record.items()
+                    if key not in ("kind", "track", "t")}
+            event = {
+                "ph": "i", "pid": _PID, "tid": track_id, "s": "t",
+                "name": f"decision:{record['verdict']}",
+                "ts": _microseconds(float(record["t"])), "args": args,
+            }
+        else:  # instant event
+            event = {
+                "ph": "i", "pid": _PID, "tid": track_id, "s": "t",
+                "name": record["name"],
+                "ts": _microseconds(float(record["t"])),
+            }
+            if "args" in record:
+                event["args"] = record["args"]
+        events.append(event)
+    document = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"format": TRACE_FORMAT, "scenario": scenario},
+    }
+    return _dumps(document) + "\n"
+
+
+def validate_chrome_trace(document: object) -> List[str]:
+    """Structural schema check of a Chrome trace-event document.
+
+    Accepts the JSON text or the parsed dict; returns a list of problems
+    (empty when the document is well-formed).  This is what ``--validate``
+    and the ``trace-smoke`` CI step run.
+    """
+    errors: List[str] = []
+    if isinstance(document, str):
+        try:
+            document = json.loads(document)
+        except ValueError as exc:
+            return [f"not valid JSON: {exc}"]
+    if not isinstance(document, dict):
+        return ["top level must be a JSON object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents list"]
+    if not events:
+        errors.append("traceEvents is empty")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in ("M", "X", "C", "i"):
+            errors.append(f"{where}: unknown phase {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str) or "pid" not in event:
+            errors.append(f"{where}: missing name/pid")
+            continue
+        if phase == "M":
+            if not isinstance(event.get("args"), dict):
+                errors.append(f"{where}: metadata without args")
+            continue
+        if not isinstance(event.get("ts"), (int, float)):
+            errors.append(f"{where}: missing numeric ts")
+        if phase == "X" and not isinstance(event.get("dur"), (int, float)):
+            errors.append(f"{where}: complete event without numeric dur")
+        if phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not all(
+                    isinstance(value, (int, float)) and not isinstance(value, bool)
+                    for value in args.values()):
+                errors.append(f"{where}: counter args must be numeric")
+    return errors

@@ -1,0 +1,219 @@
+"""Deterministic simulation-time trace recording.
+
+The observability layer records what a run *did* — worker iteration spans,
+server queue-depth gauges, membership and resharding events, autoscaler
+decisions — keyed strictly by **simulation time**, never wall clock.  The
+recorder is passive: it observes state the simulation already computes and
+never schedules events, resumes processes, or mutates anything a component
+reads, so attaching one cannot perturb a run's fingerprint.
+
+Determinism contract
+--------------------
+Traces must be byte-identical for a fixed spec and seed regardless of *how*
+the simulation executed: serial vs process-pool sweeps, cohort coalescing on
+vs off.  Two rules make that hold:
+
+* **Record only at mode-invariant sites.**  Every instrumentation point sits
+  on state the golden fingerprints already pin across both coalesce modes
+  (the per-iteration BPT series, membership/reshard logs, autoscaler decision
+  rounds) — so each *track*'s stream of records is identical in content and
+  order under either execution mode.
+* **Sort across tracks at export time.**  The interleaving of callbacks
+  *between* tracks at equal timestamps is heap-order noise that differs
+  between modes, so :meth:`TraceRecorder.sorted_records` orders the stream by
+  ``(time, track, per-track sequence)`` — a total order computed only from
+  mode-invariant keys.
+
+The default recorder is the :data:`NULL_RECORDER` singleton, whose ``enabled``
+attribute is a plain ``False``: hot loops hoist ``recorder.enabled`` into a
+local once and pay a single branch per iteration, so tracing-off is free and
+every golden trace stays byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+__all__ = ["Decision", "NullRecorder", "NULL_RECORDER", "TraceRecorder"]
+
+#: Decimal places times and float values are rounded to at record time —
+#: the same precision the golden fingerprints use.
+_DIGITS = 9
+
+
+def _round(value: float) -> float:
+    return round(float(value), _DIGITS)
+
+
+def _json_safe(value: object) -> object:
+    """Clamp a recorded value to the JSON-safe scalars traces may contain."""
+    if isinstance(value, bool) or isinstance(value, (int, str)) or value is None:
+        return value
+    if isinstance(value, float):
+        return _round(value)
+    return str(value)
+
+
+def _safe_args(args: Optional[Mapping[str, object]]) -> Optional[Dict[str, object]]:
+    if not args:
+        return None
+    return {str(key): _json_safe(value) for key, value in args.items()}
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One autoscaler policy evaluation: inputs, verdict, and the reason.
+
+    A decision is recorded for *every* evaluation round — including rounds the
+    cooldown suppressed (``verdict="cooldown"``), rounds where the policy saw
+    nothing to do (``verdict="hold"``), and actions the executor refused
+    (``verdict="denied"``) — so a policy misfire is diagnosable from the trace
+    alone.  ``reason`` is always human-readable.
+    """
+
+    time_s: float
+    tier: str          #: ``"workers"`` or ``"servers"``
+    policy: str        #: registered policy name
+    verdict: str       #: scale-out / scale-in / hold / cooldown / denied / ...
+    reason: str
+    inputs: Mapping[str, object] = field(default_factory=dict)
+    requested: Tuple[str, ...] = ()   #: node names a scale-in targeted
+    granted: Tuple[str, ...] = ()     #: node names the executor actually moved
+    count: int = 0                    #: node count a scale-out requested
+
+    def to_record(self) -> Dict[str, object]:
+        """The decision as a JSON-safe trace record."""
+        return {
+            "kind": "decision",
+            "track": "autoscaler",
+            "t": _round(self.time_s),
+            "tier": self.tier,
+            "policy": self.policy,
+            "verdict": self.verdict,
+            "reason": self.reason,
+            "inputs": _safe_args(self.inputs) or {},
+            "requested": list(self.requested),
+            "granted": list(self.granted),
+            "count": int(self.count),
+        }
+
+
+class NullRecorder:
+    """The zero-overhead default: every API is a no-op.
+
+    ``enabled`` is a plain class attribute (not a property), so hot paths can
+    read it once into a local and skip all instrumentation with one branch.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, track: str, name: str, start: float, end: float,
+             cat: str = "", args: Optional[Mapping[str, object]] = None) -> None:
+        pass
+
+    def gauge(self, track: str, name: str, time: float, value: object) -> None:
+        pass
+
+    def counter(self, track: str, name: str, time: float, value: object) -> None:
+        pass
+
+    def event(self, track: str, name: str, time: float,
+              args: Optional[Mapping[str, object]] = None) -> None:
+        pass
+
+    def decision(self, decision: Decision) -> None:
+        pass
+
+
+#: Shared do-nothing recorder; the default everywhere a recorder is accepted.
+NULL_RECORDER = NullRecorder()
+
+
+class TraceRecorder:
+    """Collects spans, gauges, counters, instants and decisions for one run.
+
+    A *track* is one horizontal timeline in the exported trace — a worker, a
+    server, or a logical stream like ``membership`` or ``autoscaler``.  Within
+    a track, records keep their append order (via a per-track sequence
+    number); across tracks, :meth:`sorted_records` imposes the deterministic
+    ``(time, track, sequence)`` total order the exporters serialize.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        # (sort_time, track, per-track seq, payload) — payload is JSON-safe.
+        self._records: List[Tuple[float, str, int, Dict[str, object]]] = []
+        self._seq: Dict[str, int] = {}
+        #: Every autoscaler :class:`Decision`, in evaluation order.
+        self.decisions: List[Decision] = []
+
+    # -- recording ----------------------------------------------------------
+    def _push(self, sort_time: float, track: str,
+              payload: Dict[str, object]) -> None:
+        seq = self._seq.get(track, 0)
+        self._seq[track] = seq + 1
+        self._records.append((float(sort_time), track, seq, payload))
+
+    def span(self, track: str, name: str, start: float, end: float,
+             cat: str = "", args: Optional[Mapping[str, object]] = None) -> None:
+        """A completed interval ``[start, end]`` on ``track`` (sim seconds)."""
+        payload: Dict[str, object] = {
+            "kind": "span", "track": track, "name": name,
+            "t0": _round(start), "t1": _round(end),
+        }
+        if cat:
+            payload["cat"] = cat
+        safe = _safe_args(args)
+        if safe:
+            payload["args"] = safe
+        self._push(start, track, payload)
+
+    def gauge(self, track: str, name: str, time: float, value: object) -> None:
+        """A sampled instantaneous value (queue depth, member count, heat)."""
+        self._push(time, track, {
+            "kind": "gauge", "track": track, "name": name,
+            "t": _round(time), "value": _json_safe(value),
+        })
+
+    def counter(self, track: str, name: str, time: float, value: object) -> None:
+        """A cumulative value sampled at ``time`` (monotone counters)."""
+        self._push(time, track, {
+            "kind": "counter", "track": track, "name": name,
+            "t": _round(time), "value": _json_safe(value),
+        })
+
+    def event(self, track: str, name: str, time: float,
+              args: Optional[Mapping[str, object]] = None) -> None:
+        """An instantaneous occurrence (membership change, reshard, failure)."""
+        payload: Dict[str, object] = {
+            "kind": "event", "track": track, "name": name, "t": _round(time),
+        }
+        safe = _safe_args(args)
+        if safe:
+            payload["args"] = safe
+        self._push(time, track, payload)
+
+    def decision(self, decision: Decision) -> None:
+        """Record one autoscaler policy evaluation (see :class:`Decision`)."""
+        self.decisions.append(decision)
+        self._push(decision.time_s, "autoscaler", decision.to_record())
+
+    # -- reading ------------------------------------------------------------
+    def sorted_records(self) -> List[Dict[str, object]]:
+        """Every record in the deterministic ``(time, track, seq)`` order."""
+        return [payload for _, _, _, payload in
+                sorted(self._records, key=lambda item: item[:3])]
+
+    def counts(self) -> Dict[str, int]:
+        """Record tallies by kind (``span`` / ``gauge`` / ``event`` / ...)."""
+        tallies: Dict[str, int] = {}
+        for _, _, _, payload in self._records:
+            kind = str(payload["kind"])
+            tallies[kind] = tallies.get(kind, 0) + 1
+        return tallies
+
+    def __len__(self) -> int:
+        return len(self._records)

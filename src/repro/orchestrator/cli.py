@@ -11,10 +11,17 @@ Subcommands
     Run a scenario sweep — registry subsets by name or tag, optionally
     grid-expanded across methods / seeds / scales / cluster sizes / worker-
     and server-tier autoscaler policies — in parallel, with content-addressed
-    result caching.
+    result caching.  ``--trace`` additionally writes a simulation-time trace
+    per scenario (regenerated deterministically even for cached results).
 ``report``
     Print a per-scenario summary table straight from the cached result store,
-    without building or running a single simulation.
+    without building or running a single simulation; includes the engine's
+    logical/physical event split when the sweep recorded it.
+``trace``
+    Re-simulate scenarios with the :mod:`repro.obs` recorder attached and
+    write JSONL + Chrome trace-event JSON (openable in Perfetto / chrome
+    tracing).  Traces are byte-deterministic: serial and parallel invocations
+    write identical files.
 ``golden-update``
     Regenerate (or ``--check``) the golden traces under
     ``tests/golden/traces/`` through the parallel sweep path.  Parallel and
@@ -31,20 +38,25 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
 from pathlib import Path
-from typing import Callable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
+from ..perf.profiling import (
+    profiling_requested,
+    run_profiled,
+    warn_multiprocess_profile,
+)
 from ..scenarios.matrix import ScenarioMatrix
 from ..scenarios.registry import get_scenario
 from ..scenarios.spec import ScenarioSpec
 from .grid import expand_registry
 from .hashing import spec_key
-from .runner import AUTO_STORE, SweepReport, SweepRunner
+from .runner import AUTO_STORE, SweepReport, SweepRunner, resolve_jobs
 from .store import STORE_FILENAME, ResultStore
 
-__all__ = ["main", "build_parser", "default_trace_dir"]
+__all__ = ["main", "build_parser", "default_trace_dir",
+           "default_trace_output_dir"]
 
 
 def default_trace_dir() -> Path:
@@ -52,6 +64,17 @@ def default_trace_dir() -> Path:
     from ..perf.report import repro_root
 
     return repro_root() / "tests" / "golden" / "traces"
+
+
+def default_trace_output_dir() -> Path:
+    """Where ``trace`` / ``--trace`` write observability traces by default.
+
+    Deliberately distinct from :func:`default_trace_dir`: golden traces are
+    checked-in behavioural fingerprints; these are viewable run timelines.
+    """
+    from ..perf.report import repro_root
+
+    return repro_root() / ".repro-traces"
 
 
 # ---------------------------------------------------------------------------
@@ -114,33 +137,62 @@ def _print_report(report: SweepReport, as_json: bool) -> None:
             print(outcome.traceback, file=sys.stderr)
 
 
-def _profiling_requested(args: argparse.Namespace) -> bool:
-    if getattr(args, "profile", False):
-        return True
-    return os.environ.get("REPRO_PROFILE", "") not in ("", "0")
+def _spec_is_autoscaled(spec: ScenarioSpec) -> bool:
+    """Whether a spec arms any autoscaler policy (worker or server tier)."""
+    elastic = spec.elastic
+    return bool(elastic) and (elastic.policy is not None
+                              or elastic.servers.policy is not None)
 
 
-def _run_profiled(work: Callable[[], "SweepReport"]) -> "SweepReport":
-    """Run ``work`` under cProfile and print the top-20 cumulative entries.
+def _emit_traces(specs: List[ScenarioSpec], out_dir: Path, fmt: str = "both",
+                 validate: bool = False, jobs: Optional[int] = None) -> int:
+    """Trace every spec and write the requested forms; returns an exit code.
 
-    The table goes to stderr so ``--json`` output stays machine-parseable.
-    Profiling covers the in-process sweep only; with ``--jobs`` > 1 the child
-    processes' simulation time shows up as pool-wait frames, so profile with
-    a single job for actionable numbers.
+    Traces are regenerated by re-simulating each spec (deterministically, so
+    a cached sweep result's trace is reproduced exactly); parallel and serial
+    invocations write byte-identical files.
     """
-    import cProfile
-    import pstats
+    from ..obs.capture import run_trace_sweep
+    from ..obs.export import validate_chrome_trace
 
-    profiler = cProfile.Profile()
-    profiler.enable()
-    try:
-        return work()
-    finally:
-        profiler.disable()
-        stats = pstats.Stats(profiler, stream=sys.stderr)
-        stats.sort_stats("cumulative")
-        print("\n--- profile (top 20 by cumulative time) ---", file=sys.stderr)
-        stats.print_stats(20)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    payloads = run_trace_sweep(specs, jobs=jobs)
+    failures = 0
+    for spec, payload in zip(specs, payloads):
+        name = str(payload.get("name", spec.name))
+        if not payload.get("ok"):
+            failures += 1
+            print(f"TRACE ERROR {name}: {payload.get('error')}", file=sys.stderr)
+            if payload.get("traceback"):
+                print(payload["traceback"], file=sys.stderr)
+            continue
+        written: List[str] = []
+        if fmt in ("jsonl", "both"):
+            path = out_dir / f"{name}.trace.jsonl"
+            path.write_text(str(payload["jsonl"]), encoding="utf-8")
+            written.append(path.name)
+        if fmt in ("chrome", "both"):
+            path = out_dir / f"{name}.trace.json"
+            path.write_text(str(payload["chrome"]), encoding="utf-8")
+            written.append(path.name)
+        problems: List[str] = []
+        if validate:
+            problems = validate_chrome_trace(str(payload["chrome"]))
+            if _spec_is_autoscaled(spec) and not payload.get("decisions"):
+                problems.append(
+                    "autoscaled scenario produced an empty decision log")
+        if problems:
+            failures += 1
+            for problem in problems:
+                print(f"INVALID {name}: {problem}", file=sys.stderr)
+            continue
+        counts = payload.get("counts", {}) or {}
+        summary = " ".join(f"{kind}={counts[kind]}" for kind in sorted(counts))
+        print(f"{name}: {' + '.join(written)} ({summary or 'no records'}, "
+              f"decisions={payload.get('decisions', 0)})")
+    if not failures:
+        print(f"{len(payloads)} trace(s) written to {out_dir}")
+    return 1 if failures else 0
 
 
 # ---------------------------------------------------------------------------
@@ -200,12 +252,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         specs = expand_registry(specs, **axes)
         print(f"expanded to {len(specs)} derived scenario(s)", file=sys.stderr)
     runner = _make_runner(args)
-    if _profiling_requested(args):
-        report = _run_profiled(lambda: runner.run(specs))
+    if profiling_requested(getattr(args, "profile", False)):
+        # Profiling is in-process: a multi-process sweep's simulation time
+        # hides in pool-wait frames, so say so up front.
+        warn_multiprocess_profile(runner.jobs)
+        report = run_profiled(lambda: runner.run(specs))
     else:
         report = runner.run(specs)
     _print_report(report, args.json)
-    return 1 if report.errors else 0
+    exit_code = 1 if report.errors else 0
+    if args.trace:
+        out_dir = (Path(args.trace_dir) if args.trace_dir
+                   else default_trace_output_dir())
+        trace_code = _emit_traces(specs, out_dir, jobs=args.jobs)
+        exit_code = exit_code or trace_code
+    return exit_code
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -221,15 +282,18 @@ def _cmd_report(args: argparse.Namespace) -> int:
     entries = []
     name_counts: dict = {}
     for key in sorted(store.keys()):
+        record = store.get_record(key)
+        if record is None:
+            continue
         spec = store.get_spec(key)
-        fingerprint = store.get(key)
+        fingerprint = record.get("fingerprint")
         if spec is None or fingerprint is None:
             continue
         if wanted is not None and not (wanted & set(spec.tags)):
             continue
         if unwanted is not None and (unwanted & set(spec.tags)):
             continue
-        entries.append((key, spec, fingerprint))
+        entries.append((key, spec, fingerprint, record.get("engine") or {}))
         name_counts[spec.name] = name_counts.get(spec.name, 0) + 1
     if not entries:
         print(f"no cached results in {store.path}", file=sys.stderr)
@@ -240,23 +304,65 @@ def _cmd_report(args: argparse.Namespace) -> int:
     # silently shadowed by a stale sibling.
     rows = []
     fingerprints = {}
-    for key, spec, fingerprint in entries:
+    traceable = []
+    for key, spec, fingerprint, engine in entries:
         label = spec.name if name_counts[spec.name] == 1 else \
             f"{spec.name}#{key[:8]}"
         row = ScenarioResult(spec=spec, run=None,
                              fingerprint=fingerprint).summary_row()
         row[0] = label
+        # The engine sidecar splits logical events (what an uncoalesced run
+        # would process) into physical heap pops + coalesced commits + folded
+        # ticks; records written before the sidecar existed show "-".
+        logical = engine.get("engine_events_processed")
+        physical = engine.get("engine_events_physical")
+        folded = engine.get("engine_events_folded")
+        if logical is None:
+            row += ["-", "-", "-"]
+        else:
+            coalesced = (int(logical) - int(physical) - int(folded)
+                         if physical is not None and folded is not None
+                         else None)
+            row += [int(logical),
+                    coalesced if coalesced is not None else "-",
+                    int(folded) if folded is not None else "-"]
         rows.append((label, row))
         fingerprints[label] = fingerprint
+        traceable.append((label, spec))
     rows.sort(key=lambda item: item[0])
+    traceable.sort(key=lambda item: item[0])
     if args.json:
         print(json.dumps(fingerprints, indent=2, sort_keys=True))
         print(f"{len(rows)} cached result(s) in {store.path}", file=sys.stderr)
         return 0
-    headers = ["scenario", "method", "JCT (s)", "samples", "restarts", "failures"]
+    headers = ["scenario", "method", "JCT (s)", "samples", "restarts",
+               "failures", "events", "coalesced", "folded"]
     print(format_table(headers, [row for _, row in rows]))
     print(f"{len(rows)} cached result(s) in {store.path} (0 simulations run)")
+    if getattr(args, "trace", False):
+        out_dir = (Path(args.trace_dir) if args.trace_dir
+                   else default_trace_output_dir())
+        return _emit_traces([spec for _, spec in traceable], out_dir,
+                            jobs=getattr(args, "jobs", None))
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    specs = _select_specs(args)
+    if not specs:
+        print("no scenarios selected", file=sys.stderr)
+        return 2
+    out_dir = (Path(args.trace_dir) if args.trace_dir
+               else default_trace_output_dir())
+
+    def emit() -> int:
+        return _emit_traces(specs, out_dir, fmt=args.format,
+                            validate=args.validate, jobs=args.jobs)
+
+    if profiling_requested(args.profile):
+        warn_multiprocess_profile(min(resolve_jobs(args.jobs), len(specs)))
+        return run_profiled(emit)
+    return emit()
 
 
 def _cmd_golden_update(args: argparse.Namespace) -> int:
@@ -357,6 +463,13 @@ def build_parser() -> argparse.ArgumentParser:
                                    "enabled by REPRO_PROFILE=1)")
     sweep_parser.add_argument("--json", action="store_true",
                               help="emit fingerprints as JSON instead of a table")
+    sweep_parser.add_argument("--trace", action="store_true",
+                              help="also write an observability trace per "
+                                   "scenario (regenerated deterministically, "
+                                   "cached results included)")
+    sweep_parser.add_argument("--trace-dir", metavar="DIR", default=None,
+                              help="trace output directory (default: "
+                                   ".repro-traces/ at the repo root)")
     sweep_parser.set_defaults(func=_cmd_sweep)
 
     report_parser = commands.add_parser(
@@ -368,7 +481,37 @@ def build_parser() -> argparse.ArgumentParser:
                                     "$REPRO_CACHE_DIR or .repro-cache/)")
     report_parser.add_argument("--json", action="store_true",
                                help="emit fingerprints as JSON instead of a table")
+    report_parser.add_argument("--trace", action="store_true",
+                               help="also regenerate observability traces for "
+                                    "every reported result (deterministic "
+                                    "re-simulation from the stored specs)")
+    report_parser.add_argument("--trace-dir", metavar="DIR", default=None,
+                               help="trace output directory (default: "
+                                    ".repro-traces/ at the repo root)")
+    report_parser.add_argument("-j", "--jobs", type=int, default=None,
+                               help="parallel workers for --trace "
+                                    "(default: $REPRO_JOBS or 1)")
     report_parser.set_defaults(func=_cmd_report)
+
+    trace_parser = commands.add_parser(
+        "trace",
+        help="write simulation-time traces (JSONL + Chrome trace-event JSON "
+             "viewable in Perfetto) for the selected scenarios")
+    _add_selection_args(trace_parser)
+    _add_runner_args(trace_parser, cache=False)
+    trace_parser.add_argument("--format", choices=("jsonl", "chrome", "both"),
+                              default="both",
+                              help="which trace form(s) to write (default: both)")
+    trace_parser.add_argument("--trace-dir", metavar="DIR", default=None,
+                              help="output directory (default: .repro-traces/ "
+                                   "at the repo root)")
+    trace_parser.add_argument("--validate", action="store_true",
+                              help="validate the Chrome trace-event JSON and "
+                                   "require a non-empty decision log for "
+                                   "autoscaled scenarios")
+    trace_parser.add_argument("--profile", action="store_true",
+                              help="run under cProfile (also REPRO_PROFILE=1)")
+    trace_parser.set_defaults(func=_cmd_trace)
 
     golden_parser = commands.add_parser(
         "golden-update",

@@ -243,9 +243,19 @@ class SweepRunner:
             counters.update({
                 "engine_events_scheduled": payload.get("engine_events_scheduled", 0),
                 "engine_events_processed": payload.get("engine_events_processed", 0),
+                "engine_events_physical": payload.get("engine_events_physical", 0),
+                "engine_events_folded": payload.get("engine_events_folded", 0),
             })
             if self.store is not None:
-                self.store.put(outcome.spec, outcome.fingerprint)
+                # Attach the logical/physical split as a store sidecar so
+                # `python -m repro report` can show per-scenario engine work
+                # without re-simulating.
+                engine = {name: int(payload[name]) for name in (
+                    "engine_events_scheduled", "engine_events_processed",
+                    "engine_events_physical", "engine_events_folded")
+                    if name in payload}
+                self.store.put(outcome.spec, outcome.fingerprint,
+                               engine=engine or None)
         else:
             outcome.error = str(payload.get("error", "unknown error"))
             outcome.traceback = payload.get("traceback")

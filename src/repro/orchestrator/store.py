@@ -148,6 +148,19 @@ class ResultStore:
             return None
         return ScenarioSpec.from_dict(record["spec"])
 
+    def get_record(self, key: str) -> Optional[Dict[str, object]]:
+        """The whole stored record for ``key`` (None on miss; deep copy).
+
+        Beyond the fingerprint this exposes the optional sidecars a sweep
+        attached — e.g. the ``"engine"`` logical/physical event counters the
+        report surfaces.  Records written before a sidecar existed simply
+        lack the field.
+        """
+        record = self._load().get(key)
+        if record is None:
+            return None
+        return copy.deepcopy(record)
+
     def __len__(self) -> int:
         return len(self._load())
 
@@ -159,8 +172,15 @@ class ResultStore:
         return list(self._load())
 
     # -- write API ----------------------------------------------------------
-    def put(self, spec: ScenarioSpec, fingerprint: Dict[str, object]) -> str:
-        """Record a fingerprint under the spec's content key; returns the key."""
+    def put(self, spec: ScenarioSpec, fingerprint: Dict[str, object],
+            engine: Optional[Dict[str, object]] = None) -> str:
+        """Record a fingerprint under the spec's content key; returns the key.
+
+        ``engine`` optionally attaches the run's engine-event counters
+        (scheduled / logical / physical / folded) as a sidecar; it rides next
+        to the fingerprint without participating in the integrity digest, so
+        old records without it stay valid and loadable.
+        """
         key = spec_key(spec)
         record = {
             "key": key,
@@ -169,6 +189,8 @@ class ResultStore:
             "fingerprint": fingerprint,
             "digest": _fingerprint_digest(fingerprint),
         }
+        if engine:
+            record["engine"] = engine
         line = json.dumps(record, sort_keys=True)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with open(self.path, "a", encoding="utf-8") as handle:

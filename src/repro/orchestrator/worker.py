@@ -86,6 +86,8 @@ def run_payload(spec_dict: Dict[str, object]) -> Dict[str, object]:
             "wall_s": time.perf_counter() - started,
             "engine_events_scheduled": sim.run.engine_events_scheduled,
             "engine_events_processed": sim.run.engine_events_processed,
+            "engine_events_physical": sim.run.engine_events_physical,
+            "engine_events_folded": sim.run.engine_events_folded,
         }
     except Exception as exc:  # noqa: BLE001 - isolation is the contract
         return {
@@ -118,4 +120,6 @@ def outcome_payload(sim: Optional[SimRun], error: Optional[BaseException],
         "wall_s": wall_s,
         "engine_events_scheduled": sim.run.engine_events_scheduled,
         "engine_events_processed": sim.run.engine_events_processed,
+        "engine_events_physical": sim.run.engine_events_physical,
+        "engine_events_folded": sim.run.engine_events_folded,
     }

@@ -17,6 +17,13 @@ first-class quantity:
 See BENCHMARKS.md at the repository root for the file format and workflow.
 """
 
+from .profiling import (
+    PROFILE_ENV,
+    maybe_profiled,
+    profiling_requested,
+    run_profiled,
+    warn_multiprocess_profile,
+)
 from .report import BENCH_DIR_ENV, PerfReporter, bench_output_path
 from .stats import EngineStats
 from .timing import Counter, Stopwatch
@@ -26,10 +33,15 @@ __all__ = [
     "BENCH_DIR_ENV",
     "Counter",
     "EngineStats",
+    "PROFILE_ENV",
     "PerfReporter",
     "Stopwatch",
     "bench_output_path",
+    "maybe_profiled",
     "measure_engine",
     "measure_seed_speedup",
+    "profiling_requested",
+    "run_profiled",
     "run_engine_scenario",
+    "warn_multiprocess_profile",
 ]

@@ -30,6 +30,7 @@ from ..elastic.membership import (
     MembershipLog,
 )
 from ..elastic.resharding import MigrationCostModel, ReshardEvent, ServerShardMap
+from ..obs.recorder import NULL_RECORDER
 from ..sim.cluster import Cluster, Node, NodeRole, NodeStatus
 from ..sim.engine import Environment
 from ..sim.failures import ErrorCode, NodeFailure
@@ -86,6 +87,9 @@ class PSRunResult:
     engine_events_scheduled: int = 0
     engine_events_processed: int = 0
     engine_events_physical: int = 0
+    # Periodic ticks folded by the quiescent-window fast-forward (a subset of
+    # the logical-minus-physical gap; the rest is cohort-coalesced commits).
+    engine_events_folded: int = 0
 
     @property
     def jct(self) -> float:
@@ -116,6 +120,7 @@ class PSTrainingJob:
         pending_model: Optional[PendingTimeModel] = None,
         metrics: Optional[MetricsRecorder] = None,
         evaluate_after_run: bool = False,
+        recorder: Optional[object] = None,
     ) -> None:
         if not cluster.workers:
             raise ValueError("the cluster has no worker nodes")
@@ -133,6 +138,11 @@ class PSTrainingJob:
             env, cluster, pending_model=pending_model, metrics=self.metrics
         )
         self.evaluate_after_run = evaluate_after_run
+        # The trace recorder is passive: it observes state the job already
+        # computes (membership transitions, reshard events, iteration BPTs)
+        # and never schedules or mutates — attaching one cannot perturb the
+        # run's fingerprint.  The null default makes tracing-off free.
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
 
         self.monitor = Monitor(self.metrics)
         self.monitor.register_third_party("pending_time", self.scheduler.pending_time)
@@ -352,14 +362,22 @@ class PSTrainingJob:
                 granted = worker.request_kill_restart()
                 if granted:
                     self.metrics.log_event(self.env.now, "kill_restart", node_name, reason)
+                    if self.recorder.enabled:
+                        self._trace_event("failures", "kill-restart", node=node_name)
                 return granted
         for server in self.servers:
             if server.name == node_name:
                 granted = server.request_kill_restart()
                 if granted:
                     self.metrics.log_event(self.env.now, "kill_restart", node_name, reason)
+                    if self.recorder.enabled:
+                        self._trace_event("failures", "kill-restart", node=node_name)
                 return granted
         return False
+
+    def _trace_event(self, track: str, name: str, **args: object) -> None:
+        """Record one instantaneous trace event at the current sim time."""
+        self.recorder.event(track, name, self.env.now, args or None)
 
     def inject_failure(self, node_name: str, code: ErrorCode, detail: str = "") -> bool:
         """Terminate ``node_name`` with an external failure and relaunch it.
@@ -376,6 +394,9 @@ class PSTrainingJob:
                     if granted:
                         now = self.env.now
                         self.metrics.log_event(now, "injected_failure", node_name, code.value)
+                        if self.recorder.enabled:
+                            self._trace_event("failures", "injected-failure",
+                                              node=node_name, code=code.value)
                         self.monitor.report_node_event(
                             NodeFailure(node_name=node_name, code=code, time=now, detail=detail)
                         )
@@ -449,6 +470,9 @@ class PSTrainingJob:
             now = self.env.now
             self.metrics.log_event(now, "scale_out_requested", node.name, reason)
             self.membership.record(now, JOIN_REQUESTED, node.name)
+            if self.recorder.enabled:
+                self._trace_event("membership", "worker-join-requested",
+                                  node=node.name, reason=reason)
             self.env.process(self._provision_worker(node))
             granted.append(node.name)
         return granted
@@ -489,6 +513,8 @@ class PSTrainingJob:
         self._on_worker_status_change(node)
         self.membership.record(now, JOINED, node.name)
         self.metrics.log_event(now, "worker_joined", node.name)
+        if self.recorder.enabled:
+            self._trace_event("membership", "worker-joined", node=node.name)
         worker.start()
 
     def request_scale_in(self, node_names: List[str],
@@ -524,6 +550,8 @@ class PSTrainingJob:
         now = self.env.now
         self.membership.record(now, LEFT, name)
         self.metrics.log_event(now, "worker_left", name)
+        if self.recorder.enabled:
+            self._trace_event("membership", "worker-left", node=name)
         self.worker_exited(name)
 
     # -- elastic server membership ---------------------------------------------------
@@ -729,6 +757,11 @@ class PSTrainingJob:
         self.reshard_log.append(event)
         self.metrics.log_event(self.env.now, "reshard", trigger,
                                f"{kind}:{len(moved)} shards")
+        if self.recorder.enabled:
+            self._trace_event("resharding", kind, trigger=trigger,
+                              moved_shards=len(moved),
+                              total_shards=self.shard_map.num_shards,
+                              cost_s=cost_s, promoted_shards=promoted)
 
     def request_server_scale_out(self, count: int,
                                  reason: str = "server scale out") -> List[str]:
@@ -759,6 +792,9 @@ class PSTrainingJob:
             now = self.env.now
             self.metrics.log_event(now, "server_scale_out_requested", node.name, reason)
             self.server_membership.record(now, JOIN_REQUESTED, node.name)
+            if self.recorder.enabled:
+                self._trace_event("membership", "server-join-requested",
+                                  node=node.name, reason=reason)
             self.env.process(self._provision_server(node))
             granted.append(node.name)
         return granted
@@ -799,6 +835,8 @@ class PSTrainingJob:
         joined_at = self.env.now
         self.server_membership.record(joined_at, JOINED, node.name)
         self.metrics.log_event(joined_at, "server_joined", node.name)
+        if self.recorder.enabled:
+            self._trace_event("membership", "server-joined", node=node.name)
         server.start()
 
     def request_server_scale_in(self, node_names: List[str],
@@ -891,6 +929,9 @@ class PSTrainingJob:
         now = self.env.now
         self.server_membership.record(now, LEFT, name)
         self.metrics.log_event(now, "server_left", name, f"rerouted {len(rerouted)}")
+        if self.recorder.enabled:
+            self._trace_event("membership", "server-left",
+                              node=name, rerouted=len(rerouted))
 
     def _server_outage(self, server: ParameterServer,
                        undelivered: List["PushRequest"]) -> bool:
@@ -1008,6 +1049,12 @@ class PSTrainingJob:
     # -- execution ------------------------------------------------------------------------
     def start(self) -> None:
         """Launch every server, worker and (optionally) controller process."""
+        if self.recorder.enabled:
+            self._trace_event("job", "run-start",
+                              workers=len(self.workers),
+                              servers=len(self.servers),
+                              total_samples=int(getattr(
+                                  self.allocator, "total_samples", 0)))
         for server in self.servers:
             server.start()
         for worker in self.workers:
@@ -1031,6 +1078,18 @@ class PSTrainingJob:
         # exactly what per-request stepping would have recorded by now.
         for server in self.servers:
             server.finalize_run()
+        if self.recorder.enabled:
+            # Post-finalize depths are mode-invariant (the finalize contract
+            # rewinds every committed window to the stop instant), so these
+            # closing gauges are safe for byte-determinism across modes.
+            depths = self.server_queue_depths()
+            for name in sorted(depths):
+                self.recorder.gauge(name, "queue-depth", jct, depths[name])
+            for name, heat in sorted(self.server_shard_weights().items()):
+                self.recorder.gauge(name, "shard-heat", jct, heat)
+            self._trace_event("job", "run-end",
+                              completed=self.completed, jct_s=jct,
+                              samples_confirmed=self._samples_confirmed)
         dropped = self.worker_state.total_dropped_iterations()
         overhead = self.agent_group.total_overhead_s + self.allocator.total_overhead_s
         done_shards = total_shards = None
@@ -1068,4 +1127,5 @@ class PSTrainingJob:
             engine_events_scheduled=self.env.scheduled_count,
             engine_events_processed=self.env.processed_count + self.env.coalesced_count,
             engine_events_physical=self.env.processed_count,
+            engine_events_folded=getattr(self.env, "folded_count", 0),
         )

@@ -316,7 +316,8 @@ class PSWorker:
     # -- failover ---------------------------------------------------------------------
     def _failover(self, cause: object):
         code = cause if isinstance(cause, ErrorCode) else ErrorCode.PROACTIVE_KILL
-        self.metrics.log_event(self.env.now, "worker_failover", self.name, code.value)
+        failover_start = self.env.now
+        self.metrics.log_event(failover_start, "worker_failover", self.name, code.value)
         self._exit_barrier()
         self.allocator.on_worker_failover(self.name)
         self.agent.reset_after_restart()
@@ -324,6 +325,10 @@ class PSWorker:
         yield self.env.timeout(self.config.worker_recovery_time_s)
         self._enter_barrier()
         self._restart_requested = False
+        recorder = getattr(self.job, "recorder", None)
+        if recorder is not None and recorder.enabled:
+            recorder.span(self.name, "failover", failover_start, self.env.now,
+                          cat="failover", args={"code": code.value})
 
     # -- simulation process ---------------------------------------------------------------
     def run(self):
@@ -347,6 +352,11 @@ class PSWorker:
         bpt_series = self._bpt_series
         batch_series = self._batch_series
         samples_series = self._samples_series
+        # Tracing is hoisted to one local branch per iteration: with the
+        # NullRecorder default ``tracing`` is False and the hot loop pays a
+        # single falsy check at the span site.
+        recorder = getattr(job, "recorder", None)
+        tracing = recorder is not None and recorder.enabled
         allocator.register_worker(name)
         self._enter_barrier()
         while True:
@@ -401,6 +411,7 @@ class PSWorker:
                 # (static) link, so one transfer-time evaluation covers both.
                 push_time = pull_time = self.node.network.transfer_time(grad_bytes)
                 yield timeout(self._compute_time(gathered) + push_time)
+                sync_start = env.now
                 # The push targets are read *after* the compute sleep, in the
                 # same synchronous block as the submits: a server retiring
                 # elastically mid-compute is already gone from the list, so a
@@ -443,6 +454,14 @@ class PSWorker:
                 bpt_series.append(now, bpt)
                 batch_series.append(now, float(self.batch_size))
                 samples_series.append(now, float(gathered))
+                if tracing:
+                    # Recorded at the fingerprint-pinned bpt point, so the
+                    # span stream is identical across coalesce modes.
+                    if targets:
+                        recorder.span(name, "sync", sync_start, now,
+                                      cat="push", args={"servers": len(targets)})
+                    recorder.span(name, "iteration", iteration_start, now,
+                                  cat="train", args={"samples": gathered})
                 report_cost = agent.report_iteration(bpt, gathered, now)
                 if report_cost > 0:
                     yield timeout(report_cost)

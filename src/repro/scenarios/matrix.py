@@ -42,7 +42,8 @@ def _build_experiment(spec: ScenarioSpec,
                       num_samples: Optional[int] = None,
                       track_coverage: bool = False,
                       failure_injector: Optional[FailureInjector] = None,
-                      coalesce: Optional[bool] = None) -> PSExperiment:
+                      coalesce: Optional[bool] = None,
+                      recorder: Optional[object] = None) -> PSExperiment:
     """The bare :class:`PSExperiment` behind a scenario spec.
 
     Internal: the experiment alone carries neither the failure trace nor the
@@ -68,6 +69,7 @@ def _build_experiment(spec: ScenarioSpec,
         track_coverage=track_coverage,
         failure_injector=injector,
         coalesce=coalesce,
+        recorder=recorder,
     )
 
 
@@ -202,6 +204,7 @@ def _arm_elastic(job: PSTrainingJob, spec: ScenarioSpec) -> None:
             ),
             busy_provider=job.scheduler.is_busy,
             pending_time_provider=job.scheduler.pending_time,
+            recorder=job.recorder,
         )
         job.attach_autoscaler(autoscaler)
     if elastic.events:

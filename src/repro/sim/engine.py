@@ -667,6 +667,7 @@ class PeriodicTask:
         self._index = k
         self.on_fold(n, base + k * interval)
         env.coalesced_count += n
+        env.folded_count += n
         self._schedule_tick()
         return n
 
@@ -790,7 +791,7 @@ class Environment:
 
     __slots__ = ("_now", "_queue", "_eid", "_active_process",
                  "scheduled_count", "processed_count",
-                 "coalesce", "coalesced_count", "_dead",
+                 "coalesce", "coalesced_count", "folded_count", "_dead",
                  "_quiescent_pending", "_periodic_tasks")
 
     def __init__(self, initial_time: float = 0.0, coalesce: bool = True) -> None:
@@ -802,6 +803,10 @@ class Environment:
         self.processed_count = 0
         self.coalesce = bool(coalesce)
         self.coalesced_count = 0
+        # Subset of coalesced_count contributed by quiescent-window tick
+        # folding (PeriodicTask._fast_forward); coalesced_count minus this is
+        # the cohort-commit share.  The perf subsystem reports both.
+        self.folded_count = 0
         # Quiescent-window fast-forward bookkeeping: the number of pending
         # heap entries that are PeriodicTask ticks, and the live tasks.  When
         # every pending entry is a tick, the run loop advances closed-form.
