@@ -8,7 +8,7 @@ PYTHONPATH_PREFIX = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 ## Parallel worker processes for orchestrated sweeps (python -m repro).
 JOBS ?= 2
 
-.PHONY: test tier1 fast golden golden-check golden-update sweep bench bench-smoke trace-smoke ci
+.PHONY: test tier1 fast golden golden-check golden-update sweep bench bench-smoke trace-smoke serve-smoke ci
 
 ## Full tier-1 suite (what the PR gate runs): unit + integration + property +
 ## golden traces + benchmarks.
@@ -17,7 +17,7 @@ test:
 
 ## Exactly what .github/workflows/ci.yml runs — one local command to know
 ## the gate will pass before pushing.
-ci: test golden-check trace-smoke
+ci: test golden-check trace-smoke serve-smoke
 
 ## Only the tests/ tree (skips the benchmark harness).
 tier1:
@@ -59,6 +59,14 @@ bench:
 trace-smoke:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro trace elastic-server-queue-autoscale \
 		--trace-dir .repro-traces --validate
+
+## Serving smoke (run in CI): run the bursty overload scenario end to end and
+## assert the protection layers actually engaged — a nonzero shed rate for
+## both reasons, a measured p99 in the fingerprint, and the admission bound
+## held.  Plus the sweep byte-identity and exactly-once-under-promotion
+## checks that live in the same file.
+serve-smoke:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest tests/integration/test_serve_smoke.py -q
 
 ## Perf floor (run in CI): the smoke benchmarks assert absolute events/sec
 ## floors and wall-clock budgets sized for slow shared runners — a real

@@ -112,6 +112,10 @@ class ElasticExecutor(Protocol):
         """Per-server heat from hot-key shard weights (empty when uniform)."""
         ...
 
+    def serving_slo_snapshot(self) -> Optional[Dict[str, float]]:
+        """Windowed serving SLO view (None when no serving tier is attached)."""
+        ...
+
     def request_server_scale_out(self, count: int, reason: str) -> List[str]:
         """Request additional servers; returns the names actually requested."""
         ...
@@ -174,6 +178,8 @@ class Autoscaler:
         pending_servers = getattr(executor, "pending_server_count", None)
         queue_depths = getattr(executor, "server_queue_depths", None)
         shard_weights = getattr(executor, "server_shard_weights", None)
+        serving_fn = getattr(executor, "serving_slo_snapshot", None)
+        serving = serving_fn() if serving_fn is not None else None
         return ElasticContext(
             now=now,
             active_workers=executor.active_worker_names(),
@@ -195,6 +201,7 @@ class Autoscaler:
             server_long_bpts=self.monitor.server_bpt_means(cfg.long_window_s, now),
             server_shard_weights=dict(shard_weights())
             if shard_weights is not None else {},
+            serving=serving,
         )
 
     # -- dispatch -----------------------------------------------------------------
@@ -248,6 +255,9 @@ class Autoscaler:
         for server in sorted(context.server_shard_weights):
             recorder.gauge(server, "shard-heat", now,
                            context.server_shard_weights[server])
+        if context.serving:
+            for key in sorted(context.serving):
+                recorder.gauge("serving", key, now, context.serving[key])
 
     @staticmethod
     def _tier_inputs(context: ElasticContext, tier: str) -> Dict[str, object]:
@@ -266,6 +276,15 @@ class Autoscaler:
             inputs["pending_servers"] = context.pending_servers
             inputs["queue_depth_max"] = max(depths.values()) if depths else 0
             inputs["queue_depth_total"] = sum(depths.values())
+            if context.serving:
+                serving = context.serving
+                inputs["serving_shed_rate"] = round(
+                    serving.get("shed_rate", 0.0), 6)
+                inputs["serving_arrival_rps"] = round(
+                    serving.get("arrival_rps", 0.0), 6)
+                p99 = serving.get("p99_s")
+                if p99 is not None:
+                    inputs["serving_p99_s"] = round(p99, 6)
         return inputs
 
     def control_step(self) -> List[Action]:

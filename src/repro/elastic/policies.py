@@ -27,6 +27,9 @@ right levers differ:
   contended server (the one fault class where the paper shows only
   KILL_RESTART helps) and retire it, requesting a healthy replacement only
   when the pending-time forecast says it would arrive in time to matter.
+* :class:`ServingSLOPolicy` — SLO-driven: under training + serving
+  colocation, grow the tier while the serving workload breaches its shed
+  or p99 latency budget, shrink it once the window is clean.
 """
 
 from __future__ import annotations
@@ -45,6 +48,7 @@ __all__ = [
     "ScheduledCapacityPolicy",
     "ServerQueueDepthPolicy",
     "ContendedServerPolicy",
+    "ServingSLOPolicy",
     "POLICIES",
     "SERVER_POLICIES",
     "make_policy",
@@ -87,6 +91,10 @@ class ElasticContext:
     # relative to the uniform share; 1.0 == even).  Empty under uniform
     # weights, in which case the policies fall back to raw counts.
     server_shard_weights: Dict[str, float] = field(default_factory=dict)
+    # Windowed serving-tier SLO snapshot (arrival_rps, shed_rate, inflight,
+    # and p99_s when the window saw completions).  None when the scenario
+    # has no serving traffic — the serving-slo policy then stands down.
+    serving: Optional[Dict[str, float]] = None
 
     @property
     def committed_workers(self) -> int:
@@ -160,7 +168,13 @@ class ElasticContext:
         for server in self.active_servers:
             depth = self.server_queue_depths.get(server, 0)
             if weights:
-                depth = depth * weights.get(server, 1.0)
+                # Heat 0 — an active server that owns no primary weight
+                # right now (e.g. promoted away and freshly recovered) —
+                # must not zero out a real backlog: treat it as uniform,
+                # mirroring ContendedServerPolicy's guard, instead of
+                # hiding the server from the max trigger and dragging the
+                # shrink mean toward zero.
+                depth = depth * (weights.get(server, 1.0) or 1.0)
             depths[server] = depth
         return depths
 
@@ -424,6 +438,78 @@ class ContendedServerPolicy(AutoscalerPolicy):
         return actions
 
 
+class ServingSLOPolicy(AutoscalerPolicy):
+    """Scale the server tier on the serving workload's SLO, not its backlog.
+
+    The queue-depth policy watches the *training* push queues; this one
+    watches what the tier exists for under colocation — request latency and
+    shedding.  Scale out while the windowed serving snapshot breaches either
+    budget: shed rate above ``max_shed_rate`` (the tier is actively
+    degrading responses) or p99 latency above ``target_p99_s`` (it is about
+    to).  Scale the newest servers back in only when the window is clean —
+    zero shedding *and* p99 under ``scale_in_fraction`` of the target with
+    real traffic present — so a tier scaled out for a flash crowd returns
+    to size afterwards.  Scale-out is gated on the cluster scheduler being
+    idle enough that the pod would arrive in time to help, like every other
+    grow trigger.
+
+    Stands down (no actions) when the context carries no serving snapshot:
+    wiring the policy into a scenario without serving traffic is inert
+    rather than wrong.
+    """
+
+    name = "serving-slo"
+
+    def __init__(self, target_p99_s: float = 0.5,
+                 max_shed_rate: float = 0.01,
+                 scale_in_fraction: float = 0.25,
+                 min_arrival_rps: float = 1.0,
+                 step: int = 1) -> None:
+        if target_p99_s <= 0:
+            raise ValueError("target_p99_s must be positive")
+        if not 0.0 <= max_shed_rate < 1.0:
+            raise ValueError("max_shed_rate must lie in [0, 1)")
+        if not 0.0 < scale_in_fraction < 1.0:
+            raise ValueError("scale_in_fraction must lie in (0, 1)")
+        if min_arrival_rps < 0:
+            raise ValueError("min_arrival_rps must be non-negative")
+        if step <= 0:
+            raise ValueError("step must be positive")
+        self.target_p99_s = float(target_p99_s)
+        self.max_shed_rate = float(max_shed_rate)
+        self.scale_in_fraction = float(scale_in_fraction)
+        self.min_arrival_rps = float(min_arrival_rps)
+        self.step = int(step)
+
+    def decide(self, context: ElasticContext) -> List[Action]:
+        serving = context.serving
+        if not serving:
+            return []
+        shed_rate = serving.get("shed_rate", 0.0)
+        p99 = serving.get("p99_s")
+        arrival_rps = serving.get("arrival_rps", 0.0)
+        breached: Optional[str] = None
+        if shed_rate > self.max_shed_rate:
+            breached = f"shed rate {shed_rate:.3f} over {self.max_shed_rate}"
+        elif p99 is not None and p99 > self.target_p99_s:
+            breached = f"p99 {p99:.3f}s over {self.target_p99_s}s"
+        if breached:
+            if context.cluster_busy or context.server_headroom <= 0:
+                return []
+            return [ScaleOutServers(
+                num_servers=min(self.step, context.server_headroom),
+                reason=f"serving SLO breach: {breached}")]
+        if (shed_rate == 0.0 and arrival_rps >= self.min_arrival_rps
+                and p99 is not None
+                and p99 < self.scale_in_fraction * self.target_p99_s
+                and context.server_shrinkable > 0):
+            count = min(self.step, context.server_shrinkable)
+            return [ScaleInServers(
+                node_names=tuple(context.newest_active_servers(count)),
+                reason=f"serving SLO clear: p99 {p99:.3f}s well under target")]
+        return []
+
+
 #: Registry of policy factories, keyed by the name used in ``ElasticSpec``.
 POLICIES: Dict[str, Callable[..., AutoscalerPolicy]] = {
     UtilizationThresholdPolicy.name: UtilizationThresholdPolicy,
@@ -438,6 +524,7 @@ POLICIES: Dict[str, Callable[..., AutoscalerPolicy]] = {
 SERVER_POLICIES: Dict[str, Callable[..., AutoscalerPolicy]] = {
     ServerQueueDepthPolicy.name: ServerQueueDepthPolicy,
     ContendedServerPolicy.name: ContendedServerPolicy,
+    ServingSLOPolicy.name: ServingSLOPolicy,
 }
 
 

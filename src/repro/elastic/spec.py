@@ -115,6 +115,13 @@ class ServerElasticSpec:
         shards weigh 1.0) — the declarative form of embedding-table key
         skew.  Threaded through the migration cost model and the weighted
         ``server-queue-depth`` / ``contended-server`` policies.
+    staleness_catchup_s:
+        Extra promotion cost modelling standby *staleness*: a warm standby
+        holds the shard bytes but may trail the primary's most recent
+        updates, so a kill-path promotion charges this catch-up window on
+        top of the flat promotion cost before the promoted owners accept
+        re-routed traffic.  Defaults to ``0.0`` (instantly-fresh standbys —
+        the pre-existing behaviour, byte for byte).
     """
 
     events: Tuple[ScaleEvent, ...] = ()
@@ -124,6 +131,7 @@ class ServerElasticSpec:
     max_servers: Optional[int] = None
     replicas: int = 0
     hot_shards: Tuple[Tuple[int, float], ...] = ()
+    staleness_catchup_s: float = 0.0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "events", tuple(self.events))
@@ -141,6 +149,8 @@ class ServerElasticSpec:
             raise ValueError("max_servers must be >= min_servers")
         if self.replicas < 0:
             raise ValueError("replicas must be non-negative")
+        if self.staleness_catchup_s < 0:
+            raise ValueError("staleness_catchup_s must be non-negative")
         if any(shard < 0 for shard, _ in self.hot_shards):
             raise ValueError("hot shard ids must be non-negative")
         if any(weight <= 0 for _, weight in self.hot_shards):
@@ -182,6 +192,8 @@ class ServerElasticSpec:
         if self.hot_shards:
             data["hot_shards"] = [[shard, weight]
                                   for shard, weight in self.hot_shards]
+        if self.staleness_catchup_s:
+            data["staleness_catchup_s"] = self.staleness_catchup_s
         return data
 
     @classmethod
@@ -198,6 +210,7 @@ class ServerElasticSpec:
             replicas=data.get("replicas", 0),
             hot_shards=tuple((shard, weight)
                              for shard, weight in data.get("hot_shards", ())),
+            staleness_catchup_s=data.get("staleness_catchup_s", 0.0),
         )
 
 

@@ -248,6 +248,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         axes["server_autoscalers"] = args.server_autoscalers
     if args.server_replicas:
         axes["server_replicas"] = args.server_replicas
+    if args.serving:
+        axes["serving"] = args.serving
     if axes:
         specs = expand_registry(specs, **axes)
         print(f"expanded to {len(specs)} derived scenario(s)", file=sys.stderr)
@@ -457,6 +459,10 @@ def build_parser() -> argparse.ArgumentParser:
                               help="grid axis: warm standbys per parameter "
                                    "shard (0 = single-owner; nonzero requires "
                                    "DDS-based base scenarios)")
+    sweep_parser.add_argument("--serving", nargs="+", metavar="PRESET",
+                              help="grid axis: serving-traffic presets "
+                                   "(off/steady/bursty/flash) driven against "
+                                   "the PS tier while each scenario trains")
     sweep_parser.add_argument("--profile", action="store_true",
                               help="run the sweep under cProfile and print the "
                                    "top-20 cumulative entries to stderr (also "

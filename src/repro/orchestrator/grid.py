@@ -20,6 +20,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 from ..baselines.registry import PS_METHODS
 from ..elastic.spec import ElasticSpec
 from ..scenarios.spec import ScenarioSpec
+from ..serving.spec import SERVING_PRESETS
 
 __all__ = ["expand", "expand_registry"]
 
@@ -31,7 +32,8 @@ def expand(base: ScenarioSpec,
            workers: Optional[Sequence[int]] = None,
            autoscalers: Optional[Sequence[str]] = None,
            server_autoscalers: Optional[Sequence[str]] = None,
-           server_replicas: Optional[Sequence[int]] = None) -> List[ScenarioSpec]:
+           server_replicas: Optional[Sequence[int]] = None,
+           serving: Optional[Sequence[str]] = None) -> List[ScenarioSpec]:
     """Every variant of ``base`` across the given axes (Cartesian product).
 
     Each provided axis replaces the corresponding spec field; ``workers``
@@ -43,7 +45,11 @@ def expand(base: ScenarioSpec,
     ``server_autoscalers`` rewrites ``elastic.servers.policy`` the same way,
     and ``server_replicas`` rewrites ``elastic.servers.replicas`` (warm
     standbys per parameter shard; ``0`` is the single-owner behaviour, and a
-    variant pinning it to 0 on a non-elastic base stays non-elastic).
+    variant pinning it to 0 on a non-elastic base stays non-elastic), and
+    ``serving`` rewrites the serving workload from the named
+    :data:`~repro.serving.spec.SERVING_PRESETS` (``"off"`` strips serving
+    traffic from the variant; serving alone does not make a variant
+    elastic, so it composes with every method).
     Omitted axes keep the base value.  With no axes at all, the base spec
     itself is returned unchanged — ``expand`` composes transparently with
     plain sweeps.
@@ -77,6 +83,13 @@ def expand(base: ScenarioSpec,
     if server_replicas is not None:
         axes.append(("server_replicas",
                      [int(replicas) for replicas in server_replicas]))
+    if serving is not None:
+        presets = [str(preset) for preset in serving]
+        for preset in presets:
+            if preset not in SERVING_PRESETS:
+                raise ValueError(f"unknown serving preset {preset!r}; "
+                                 f"available: {sorted(SERVING_PRESETS)}")
+        axes.append(("serving", presets))
     for axis, values in axes:
         if not values:
             raise ValueError(f"axis {axis!r} must list at least one value")
@@ -124,6 +137,9 @@ def expand(base: ScenarioSpec,
                 "elastic", base.elastic if base.elastic else ElasticSpec())
             changes["elastic"] = replace(
                 elastic, servers=replace(elastic.servers, replicas=replicas))
+        preset = changes.pop("serving", None)
+        if preset is not None:
+            changes["serving"] = SERVING_PRESETS[preset]
         variants.append(replace(base, name=f"{base.name}@{suffix}", **changes))
     return variants
 

@@ -45,9 +45,14 @@ from .config import PSJobConfig
 from .server import ParameterServer, PushRequest, ServerStateArrays
 from .worker import PSWorker, WorkerStateArrays
 
-__all__ = ["PSRunResult", "PSTrainingJob"]
+__all__ = ["PSRunResult", "PSTrainingJob", "SERVING_WORKER_PREFIX"]
 
 _RUNNING = NodeStatus.RUNNING
+
+#: Pseudo-worker prefix carried by serving-tier requests.  Lives here (not
+#: in :mod:`repro.serving`) so the requeue filter can honour it without the
+#: training layer depending on the serving layer.
+SERVING_WORKER_PREFIX = "serve:"
 
 
 @dataclass
@@ -90,6 +95,9 @@ class PSRunResult:
     # Periodic ticks folded by the quiescent-window fast-forward (a subset of
     # the logical-minus-physical gap; the rest is cohort-coalesced commits).
     engine_events_folded: int = 0
+    # Serving-tier SLO summary (None unless the scenario attached serving
+    # traffic): per-tenant goodput, p50/p99 latency, shed counts by reason.
+    serving: Optional[Dict[str, object]] = None
 
     @property
     def jct(self) -> float:
@@ -254,6 +262,11 @@ class PSTrainingJob:
         self._migration_model = MigrationCostModel(
             param_bytes=config.model.gradient_bytes,
             per_byte_cost_s=config.server_per_byte_cost_s)
+        # Extra catch-up stall a promoted standby pays for its replication
+        # staleness (0 = warm standbys are perfectly fresh, the PR-7 model).
+        self._staleness_catchup_s = 0.0
+        # Optional open-loop serving tier (attach_serving).
+        self._serving = None
 
         # The active-worker count sits on the per-push-request hot path (every
         # server consults it for delay amortisation and report strides), so it
@@ -578,8 +591,13 @@ class PSTrainingJob:
 
         False for draining and departed workers: their queued pushes were
         purged by the scale-in drain, and a server restart (or a sibling
-        server's drain) must not resurrect them.
+        server's drain) must not resurrect them.  Serving pseudo-workers
+        (``serve:<tenant>``) are not cluster nodes but their in-flight
+        requests must survive server churn — they replay after a relaunch
+        or are re-delivered to promoted standbys, never silently dropped.
         """
+        if worker_name.startswith(SERVING_WORKER_PREFIX):
+            return True
         return (worker_name not in self._draining_workers
                 and worker_name in self.cluster)
 
@@ -687,7 +705,8 @@ class PSTrainingJob:
         self.elastic_max_servers = max_servers
 
     def configure_server_replication(self, replicas: int = 0,
-                                     hot_shards=()) -> None:
+                                     hot_shards=(),
+                                     staleness_catchup_s: float = 0.0) -> None:
         """Enable warm-standby replica chains and/or hot-key shard weights.
 
         Rebuilds the shard map over the same membership with ``replicas``
@@ -696,16 +715,41 @@ class PSTrainingJob:
         charge migration costs — it models a job *configured* with
         replication, not a live re-replication).  ``replicas=0`` with no hot
         shards is exactly the pre-replication single-owner map.
+
+        ``staleness_catchup_s`` adds a flat catch-up stall to every kill-path
+        standby promotion: a warm standby lags the primary by its replication
+        delay and must replay that tail before serving writes.  The default 0
+        keeps the PR-7 perfectly-fresh-standby model (and its traces)
+        byte-identical.
         """
         if replicas < 0:
             raise ValueError("replicas must be non-negative")
+        if staleness_catchup_s < 0:
+            raise ValueError("staleness_catchup_s must be non-negative")
         weights = {int(shard): float(weight) for shard, weight in hot_shards}
         self._server_replicas = int(replicas)
+        self._staleness_catchup_s = float(staleness_catchup_s)
         self.shard_map = ServerShardMap(
             members=self.shard_map.members,
             num_shards=self.shard_map.num_shards,
             replicas=int(replicas),
             shard_weights=weights or None)
+
+    def attach_serving(self, tier) -> None:
+        """Attach an open-loop serving tier (started with the job).
+
+        Must be called before :meth:`start`; the tier's tenant processes
+        launch after the servers so the first request finds a live fleet.
+        """
+        if self._serving is not None:
+            raise ValueError("a serving tier is already attached")
+        self._serving = tier
+
+    def serving_slo_snapshot(self) -> Optional[Dict[str, float]]:
+        """Windowed serving SLO view for the autoscaler (None without serving)."""
+        if self._serving is None:
+            return None
+        return self._serving.slo_snapshot()
 
     def server_shard_weights(self) -> Dict[str, float]:
         """Per-server heat from the hot-shard weights (policy input).
@@ -976,7 +1020,8 @@ class PSTrainingJob:
         rerouted = [request for request in pending
                     if not request.done.triggered
                     and self._worker_requeue_ok(request.worker)]
-        cost = self._migration_model.promotion_time(len(promoted))
+        cost = (self._migration_model.promotion_time(len(promoted))
+                + self._staleness_catchup_s)
         self._record_reshard("promotion", name, promoted, cost,
                              promoted=len(promoted))
         self.metrics.log_event(self.env.now, "server_promotion", name,
@@ -1059,6 +1104,8 @@ class PSTrainingJob:
             server.start()
         for worker in self.workers:
             worker.start()
+        if self._serving is not None:
+            self._serving.start()
         if self.controller is not None:
             self.env.process(self.controller.run())
         if self.autoscaler is not None:
@@ -1128,4 +1175,9 @@ class PSTrainingJob:
             engine_events_processed=self.env.processed_count + self.env.coalesced_count,
             engine_events_physical=self.env.processed_count,
             engine_events_folded=getattr(self.env, "folded_count", 0),
+            # Finalized after the server rewind above, so in-flight counts
+            # see exactly the acknowledgements per-request stepping would
+            # have delivered by the stop instant (mode-invariant).
+            serving=(self._serving.finalize(jct)
+                     if self._serving is not None else None),
         )

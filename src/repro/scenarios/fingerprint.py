@@ -132,7 +132,26 @@ def fingerprint(spec: "ScenarioSpec", result: "PSRunResult",
         if result.shard_weights:
             resharding["shard_weights"] = result.shard_weights
         payload["elastic"]["resharding"] = resharding
+    if result.serving is not None:
+        # Serving SLO summary (goodput, p50/p99 latency, shed counts by
+        # reason, per-tenant breakdown).  The key appears only when the
+        # scenario attached serving traffic, so every training-only trace
+        # keeps its exact bytes.
+        payload["serving"] = _rounded_tree(result.serving)
     return payload
+
+
+def _rounded_tree(value: object) -> object:
+    """Round every float in a nested JSON-safe structure to ``_DIGITS``."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return _round(value)
+    if isinstance(value, dict):
+        return {key: _rounded_tree(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_rounded_tree(item) for item in value]
+    return value
 
 
 def _reshard_event(event) -> Dict[str, object]:

@@ -176,8 +176,10 @@ def _arm_elastic(job: PSTrainingJob, spec: ScenarioSpec) -> None:
     job.configure_elastic_servers(min_servers=servers.min_servers,
                                   max_servers=servers.max_servers)
     if servers.replicas or servers.hot_shards:
-        job.configure_server_replication(replicas=servers.replicas,
-                                         hot_shards=servers.hot_shards)
+        job.configure_server_replication(
+            replicas=servers.replicas,
+            hot_shards=servers.hot_shards,
+            staleness_catchup_s=servers.staleness_catchup_s)
     if elastic.policy is not None or servers.policy is not None:
         policy = (make_policy(elastic.policy, **dict(elastic.policy_params))
                   if elastic.policy is not None else None)
@@ -242,6 +244,13 @@ def build_scenario_job(spec: ScenarioSpec, **overrides: object
         job.env.process(_failure_trace_process(job, spec.failures.events))
     if spec.elastic:
         _arm_elastic(job, spec)
+    if spec.serving:
+        # Lazy import: the serving runtime pulls in the psarch layer, and
+        # importing it at module top would cycle through the scenario
+        # package's own __init__.
+        from ..serving.driver import ServingTier
+        job.attach_serving(ServingTier(job, spec.serving, seed=spec.seed,
+                                       recorder=job.recorder))
     return job, injector
 
 

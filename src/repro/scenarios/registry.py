@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..elastic.spec import ElasticSpec, ScaleEvent, ServerElasticSpec
+from ..serving.spec import SERVING_PRESETS, ServingSpec, TenantSpec
 from ..experiments.stragglers import (
     NO_STRAGGLERS,
     StragglerScenario,
@@ -516,4 +517,96 @@ register_scenario(ScenarioSpec(
     description="The 120-worker scale point of the perf sweep under heavy worker "
                 "stragglers.",
     tags=("non-dedicated", "scale", "slow"),
+))
+
+# -- training + serving colocation ------------------------------------------
+# Open-loop request traffic against the PS tier while the job trains.  The
+# serving window, rates and admission depths are sized for the small scale's
+# 3-server tier (~100 req/s per server before training contention), so every
+# scenario stays cheap enough for the tier-1 golden suite.
+register_scenario(ScenarioSpec(
+    name="serving-steady-diurnal",
+    method="antdt-nd",
+    seed=27,
+    serving=SERVING_PRESETS["steady"],
+    description="Two tenants (a diurnal web class and a token-bucketed batch "
+                "class) serve reads against the training job's PS tier: the "
+                "baseline colocation point, with p50/p99 latency, goodput "
+                "and shed counts pinned in the fingerprint.",
+    tags=("dedicated", "serving", "colocation"),
+))
+
+register_scenario(ScenarioSpec(
+    name="serving-overload-shed",
+    method="antdt-nd",
+    seed=28,
+    serving=SERVING_PRESETS["bursty"],
+    description="A spiky tenant offers ~3x the tier's effective capacity in "
+                "bursts: the token bucket throttles it at the edge and the "
+                "bounded admission queues shed the rest as overload — "
+                "graceful degradation with bounded latency, never an "
+                "unbounded queue (the serve-smoke scenario).",
+    tags=("dedicated", "serving", "colocation", "overload"),
+))
+
+register_scenario(ScenarioSpec(
+    name="serving-slo-autoscale",
+    method="antdt-nd",
+    seed=29,
+    elastic=ElasticSpec(
+        interval_s=10.0, cooldown_s=20.0,
+        servers=ServerElasticSpec(policy="serving-slo",
+                                  policy_params=(("target_p99_s", 0.3),
+                                                 ("max_shed_rate", 0.02),
+                                                 ("scale_in_fraction", 0.2)),
+                                  max_servers=6)),
+    serving=SERVING_PRESETS["flash"],
+    description="A flash crowd ramps to 8x the baseline rate mid-window: the "
+                "serving-slo policy watches the windowed shed rate and p99 "
+                "and grows the server tier through the spike — the elastic "
+                "PS tier scaled by the thing it exists for, with every "
+                "verdict in the autoscaler decision log.",
+    tags=("dedicated", "serving", "colocation", "elastic", "elastic-server"),
+))
+
+register_scenario(ScenarioSpec(
+    name="serving-hot-key-fanout",
+    method="antdt-nd",
+    seed=30,
+    elastic=ElasticSpec(servers=ServerElasticSpec(replicas=1,
+                                                  hot_shards=HOT_SHARDS)),
+    serving=ServingSpec(
+        tenants=(TenantSpec(name="web", rate_rps=90.0, shape="diurnal"),
+                 TenantSpec(name="mobile", rate_rps=50.0, shape="uniform",
+                            rate_limit_rps=60.0)),
+        start_s=5.0, duration_s=40.0, zipf_s=1.2, queue_capacity=24),
+    description="Zipf key popularity concentrated on the weighted hot shards, "
+                "with one warm standby per shard: reads fan out to the "
+                "least-loaded live chain member, so the replicas built for "
+                "failover finally carry traffic and level the hot server's "
+                "load.",
+    tags=("dedicated", "serving", "colocation", "replication"),
+))
+
+register_scenario(ScenarioSpec(
+    name="serving-promotion-burst",
+    method="antdt-nd",
+    seed=31,
+    failures=FailureTraceSpec(events=(
+        FailureEvent(time_s=26.0, node="server-1",
+                     code=ErrorCode.JOB_EVICTION.value),
+    )),
+    elastic=ElasticSpec(servers=ServerElasticSpec(
+        replicas=1, staleness_catchup_s=0.75)),
+    serving=ServingSpec(
+        tenants=(TenantSpec(name="web", rate_rps=70.0, shape="uniform"),
+                 TenantSpec(name="spiky", rate_rps=150.0, shape="bursty",
+                            rate_limit_rps=110.0, burst_s=0.5)),
+        start_s=5.0, duration_s=40.0, queue_capacity=12),
+    description="A primary is evicted in the middle of a request burst: warm "
+                "standbys are promoted (paying the staleness catch-up on top "
+                "of the coordination cost), in-flight serving requests are "
+                "re-delivered to the heirs, and the exactly-once audit still "
+                "balances.",
+    tags=("dedicated", "serving", "colocation", "replication", "failures"),
 ))

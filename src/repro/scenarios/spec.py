@@ -23,6 +23,7 @@ from ..baselines.registry import PS_METHODS
 from ..elastic.spec import NO_ELASTIC, ElasticSpec
 from ..experiments.stragglers import NO_STRAGGLERS, StragglerScenario
 from ..experiments.workloads import SCALES, ExperimentScale
+from ..serving.spec import NO_SERVING, ServingSpec
 from ..sim.failures import ErrorCode
 
 __all__ = [
@@ -193,6 +194,12 @@ class ScenarioSpec:
         a deterministic scale-out/scale-in schedule and/or an autoscaler
         policy.  Requires a DDS-based method — a static partition fixes the
         worker set at construction time.
+    serving:
+        Open-loop serving traffic driven against the PS tier while the job
+        trains (:class:`~repro.serving.spec.ServingSpec`).  The default
+        :data:`~repro.serving.spec.NO_SERVING` attaches nothing, and the
+        section is omitted from the serialized form, so pre-serving specs
+        keep their canonical bytes.
     iterations / epochs:
         Workload-length overrides on top of the base scale.
     scale_overrides:
@@ -211,6 +218,7 @@ class ScenarioSpec:
     stragglers: StragglerScenario = NO_STRAGGLERS
     failures: FailureTraceSpec = field(default_factory=FailureTraceSpec)
     elastic: ElasticSpec = NO_ELASTIC
+    serving: ServingSpec = NO_SERVING
     iterations: Optional[int] = None
     epochs: Optional[int] = None
     scale_overrides: Tuple[Tuple[str, object], ...] = ()
@@ -310,7 +318,7 @@ class ScenarioSpec:
     # -- serialization -------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
         """Plain-dict form (JSON-safe); inverse of :meth:`from_dict`."""
-        return {
+        data: Dict[str, object] = {
             "name": self.name,
             "method": self.method,
             "scale": self.scale,
@@ -325,6 +333,12 @@ class ScenarioSpec:
             "epochs": self.epochs,
             "scale_overrides": [[key, value] for key, value in self.scale_overrides],
         }
+        # Omit-when-default: serving arrived after the first golden traces
+        # were pinned, so a scenario without it must serialize to the exact
+        # bytes it always had.
+        if self.serving:
+            data["serving"] = self.serving.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "ScenarioSpec":
@@ -341,6 +355,7 @@ class ScenarioSpec:
                 data.get("stragglers", NO_STRAGGLERS.to_dict())),
             failures=FailureTraceSpec.from_dict(data.get("failures", {"events": []})),
             elastic=ElasticSpec.from_dict(data.get("elastic", {})),
+            serving=ServingSpec.from_dict(data.get("serving", {})),
             iterations=data.get("iterations"),
             epochs=data.get("epochs"),
             scale_overrides=tuple(

@@ -1,0 +1,200 @@
+"""The serving tier runtime: open-loop tenants driving the sharded PS.
+
+One :class:`ServingTier` attaches to a :class:`~repro.psarch.job.PSTrainingJob`
+and runs one simulation process per tenant.  Each process walks a fully
+precomputed arrival trace (times, Zipf key ranks, read/write flags — see
+:mod:`repro.serving.arrivals`) and, per request:
+
+1. charges the tenant's token bucket (empty bucket → shed ``"throttled"``);
+2. maps the key rank to a parameter shard — hottest keys land on the
+   heaviest-weighted shards, so Zipf popularity concentrates on the
+   scenario's declared ``hot_shards``;
+3. routes: writes go to the shard's primary, reads pick the least-loaded
+   live member of the replica chain (primary + warm standbys), so PR-7
+   replicas finally serve traffic;
+4. admits against the target's bounded in-flight budget (full → shed
+   ``"overload"``) and submits through the ordinary
+   :meth:`ParameterServer.submit` path, sharing the acknowledgement chain
+   with training pushes — colocation contention is physical, not modelled;
+5. completes via a callback on the request's done event, which fires at
+   the acknowledgement instant in both engine coalescing modes, releasing
+   the admission slot and recording the latency.
+
+Requests carry a ``serve:<tenant>`` pseudo-worker name; the job's requeue
+filter admits the prefix so an in-flight serving request survives a server
+kill (it replays after the relaunch, or is re-delivered to a promoted
+standby) instead of being dropped with the training backlog of departed
+workers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..psarch.job import SERVING_WORKER_PREFIX
+from .admission import AdmissionLedger
+from .arrivals import arrival_times, zipf_keys
+from .slo import SLOTracker
+from .spec import ServingSpec, TenantSpec
+from .tenants import bucket_for
+
+__all__ = ["ServingTier", "SERVING_WORKER_PREFIX"]
+
+#: Salt mixed into every tenant's RNG seed sequence (spells "SRV").
+_SEED_SALT = 0x535256
+
+
+class ServingTier:
+    """Open-loop request traffic against a training job's server tier."""
+
+    def __init__(self, job, spec: ServingSpec, seed: int = 0,
+                 recorder=None) -> None:
+        if not spec:
+            raise ValueError("a serving tier needs at least one tenant")
+        self.job = job
+        self.env = job.env
+        self.spec = spec
+        self.recorder = recorder if recorder is not None else job.recorder
+        self.admission = AdmissionLedger(spec.queue_capacity)
+        self.slo = SLOTracker(spec.window_s)
+        self.arrivals = 0
+        self.admitted = 0
+        self.completed = 0
+        self._shed_counts = {"overload": 0, "throttled": 0}
+        self._seed = int(seed)
+        self._targets_cache: Tuple[Optional[list], Dict[str, object]] = (None, {})
+        self._shard_order: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+    # Launch (called by PSTrainingJob.start once servers are up).
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Precompute every tenant's trace and launch its process."""
+        spec = self.spec
+        smap = self.job.shard_map
+        # Shards sorted heaviest-first: block-mapping hot key ranks onto
+        # this order concentrates Zipf mass on the declared hot shards.
+        self._shard_order = sorted(
+            range(smap.num_shards),
+            key=lambda shard: (-smap.weight_of(shard), shard))
+        for index, tenant in enumerate(spec.tenants):
+            rng = np.random.default_rng((self._seed, _SEED_SALT, index))
+            times = arrival_times(rng, tenant.shape, tenant.rate_rps,
+                                  spec.start_s, spec.duration_s)
+            keys = zipf_keys(rng, times.shape[0], spec.num_keys, spec.zipf_s)
+            reads = rng.random(times.shape[0]) < spec.read_fraction
+            self.env.process(self._tenant_proc(tenant, times, keys, reads))
+
+    def _tenant_proc(self, tenant: TenantSpec, times: np.ndarray,
+                     keys: np.ndarray, reads: np.ndarray):
+        env = self.env
+        job = self.job
+        spec = self.spec
+        slo = self.slo
+        bucket = bucket_for(tenant.rate_limit_rps, tenant.burst_s,
+                            spec.start_s)
+        name = tenant.name
+        num_shards = len(self._shard_order)
+        for i in range(times.shape[0]):
+            when = float(times[i])
+            if when > env.now:
+                yield env.timeout(when - env.now)
+            if job.completed:
+                return
+            now = env.now
+            self.arrivals += 1
+            slo.on_arrival(name, now)
+            if bucket is not None and not bucket.try_acquire(now):
+                self._shed(name, now, "throttled")
+                continue
+            shard = self._shard_order[
+                (int(keys[i]) * num_shards) // spec.num_keys]
+            self._dispatch(name, now, shard, bool(reads[i]))
+
+    # ------------------------------------------------------------------
+    # Routing, admission, completion.
+    # ------------------------------------------------------------------
+
+    def _target_index(self) -> Dict[str, object]:
+        """Name -> live server, rebuilt only when the target list changes."""
+        targets = self.job.push_targets()
+        cached_list, index = self._targets_cache
+        if cached_list is not targets:
+            index = {server.name: server for server in targets}
+            self._targets_cache = (targets, index)
+        return index
+
+    def _dispatch(self, tenant: str, now: float, shard: int,
+                  is_read: bool) -> None:
+        job = self.job
+        smap = job.shard_map
+        index = self._target_index()
+        owner = smap.owner_of(shard)
+        target = index.get(owner) if owner is not None else None
+        if is_read:
+            standbys = smap.standbys_of(shard)
+            if standbys:
+                admission = self.admission
+                best_depth = (admission.inflight(target.name)
+                              if target is not None else None)
+                for standby_name in standbys:
+                    standby = index.get(standby_name)
+                    if standby is None:
+                        continue
+                    depth = admission.inflight(standby_name)
+                    if best_depth is None or depth < best_depth:
+                        target, best_depth = standby, depth
+        if target is None:
+            # The owner fell out of the push rotation with no live replica
+            # to absorb the read: degrade rather than queue unboundedly.
+            self._shed(tenant, now, "overload")
+            return
+        server_name = target.name
+        if not self.admission.try_admit(server_name):
+            self._shed(tenant, now, "overload")
+            return
+        self.admitted += 1
+        done = target.submit(SERVING_WORKER_PREFIX + tenant,
+                             self.spec.request_bytes)
+        done.callbacks.append(
+            lambda _event, tenant=tenant, arrival=now,
+            server_name=server_name: self._on_ack(tenant, arrival,
+                                                  server_name))
+
+    def _on_ack(self, tenant: str, arrival: float, server_name: str) -> None:
+        ack = self.env.now
+        self.admission.release(server_name)
+        self.completed += 1
+        self.slo.on_completion(tenant, ack, ack - arrival)
+        recorder = self.recorder
+        if recorder.enabled:
+            recorder.span(f"serving:{tenant}", "request", arrival, ack,
+                          cat="serving", args={"server": server_name})
+
+    def _shed(self, tenant: str, now: float, reason: str) -> None:
+        self._shed_counts[reason] += 1
+        self.slo.on_shed(tenant, now, reason)
+        recorder = self.recorder
+        if recorder.enabled:
+            recorder.counter("serving", f"shed-{reason}", now,
+                             self._shed_counts[reason])
+
+    # ------------------------------------------------------------------
+    # Policy input and fingerprint section.
+    # ------------------------------------------------------------------
+
+    def slo_snapshot(self) -> Dict[str, float]:
+        """Windowed SLO view for the ``serving-slo`` autoscaler policy."""
+        return self.slo.snapshot(self.env.now, self.admission.total_inflight())
+
+    def finalize(self, jct: float) -> Dict[str, object]:
+        """Cumulative serving summary for the run fingerprint."""
+        spec = self.spec
+        elapsed = max(0.0, min(jct, spec.start_s + spec.duration_s)
+                      - spec.start_s)
+        summary = self.slo.finalize(elapsed, self.admitted - self.completed)
+        summary["peak_server_inflight"] = self.admission.peak_inflight()
+        return summary

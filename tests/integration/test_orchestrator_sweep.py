@@ -108,7 +108,7 @@ def test_warm_cache_full_registry_sweep_runs_zero_simulations(tmp_path):
 def test_cli_list_and_show(capsys):
     assert cli_main(["list"]) == 0
     out = capsys.readouterr().out
-    assert "dedicated-baseline" in out and "31 scenario(s)" in out
+    assert "dedicated-baseline" in out and "36 scenario(s)" in out
 
     assert cli_main(["list", "--tags", "failures", "--exclude-tags", "eviction",
                      "--json"]) == 0

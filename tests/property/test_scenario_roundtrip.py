@@ -27,6 +27,7 @@ from repro.scenarios import (
     ScenarioSpec,
     TopologySpec,
 )
+from repro.serving.spec import ARRIVAL_SHAPES, NO_SERVING, ServingSpec, TenantSpec
 from repro.sim.failures import ErrorCode
 
 _NAMES = st.text(
@@ -148,6 +149,36 @@ def elastic_specs(draw):
 
 
 @st.composite
+def tenant_specs(draw, name):
+    throttled = draw(st.booleans())
+    return TenantSpec(
+        name=name,
+        rate_rps=draw(st.floats(min_value=0.1, max_value=500.0, allow_nan=False)),
+        shape=draw(st.sampled_from(ARRIVAL_SHAPES)),
+        rate_limit_rps=draw(st.floats(
+            min_value=0.1, max_value=500.0, allow_nan=False))
+        if throttled else None,
+        burst_s=draw(st.floats(min_value=0.1, max_value=10.0, allow_nan=False)),
+    )
+
+
+@st.composite
+def serving_specs(draw):
+    names = draw(st.lists(_NAMES, min_size=1, max_size=4, unique=True))
+    return ServingSpec(
+        tenants=tuple(draw(tenant_specs(name)) for name in names),
+        start_s=draw(st.floats(min_value=0.0, max_value=100.0, allow_nan=False)),
+        duration_s=draw(st.floats(min_value=1.0, max_value=600.0, allow_nan=False)),
+        read_fraction=draw(_FRACTIONS),
+        request_bytes=draw(st.floats(min_value=1.0, max_value=1e6, allow_nan=False)),
+        zipf_s=draw(st.floats(min_value=0.1, max_value=3.0, allow_nan=False)),
+        num_keys=draw(st.integers(min_value=1, max_value=1 << 20)),
+        queue_capacity=draw(st.integers(min_value=1, max_value=256)),
+        window_s=draw(st.floats(min_value=1.0, max_value=120.0, allow_nan=False)),
+    )
+
+
+@st.composite
 def scenario_specs(draw):
     scale = draw(st.sampled_from(sorted(SCALES)))
     topology = draw(topology_specs())
@@ -165,6 +196,7 @@ def scenario_specs(draw):
         description=draw(st.text(max_size=40)),
         tags=tuple(draw(st.lists(_NAMES, max_size=4))),
         topology=topology,
+        serving=draw(st.one_of(st.just(NO_SERVING), serving_specs())),
         stragglers=draw(straggler_scenarios()),
         failures=draw(failure_traces()),
         iterations=draw(st.one_of(st.none(), st.integers(min_value=1, max_value=500))),

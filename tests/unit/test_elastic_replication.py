@@ -25,7 +25,13 @@ from repro.elastic import (
     verify_shard_coverage,
 )
 from repro.orchestrator.grid import expand
-from repro.scenarios import ScenarioSpec, build_scenario_job, run_scenario
+from repro.scenarios import (
+    FailureEvent,
+    FailureTraceSpec,
+    ScenarioSpec,
+    build_scenario_job,
+    run_scenario,
+)
 
 from test_elastic_servers import _server_context, _server_spec
 
@@ -328,3 +334,102 @@ def test_scenario_spec_arms_replication_and_grid_axis_expands():
                     server_replicas=(0, 2))
     assert [spec.elastic.servers.replicas if spec.elastic else 0
             for spec in static] == [0]
+
+
+# ---------------------------------------------------------------------------
+# Staleness catch-up on promotion
+# ---------------------------------------------------------------------------
+
+
+def _kill_promotion_spec(name, staleness=None):
+    servers = ServerElasticSpec(replicas=1)
+    if staleness is not None:
+        servers = ServerElasticSpec(replicas=1, staleness_catchup_s=staleness)
+    return _server_spec(
+        name=name, iterations=40,
+        elastic=ElasticSpec(servers=servers),
+        failures=FailureTraceSpec(events=(
+            FailureEvent(time_s=20.0, node="server-1"),)))
+
+
+def test_staleness_catchup_defaults_to_zero_and_stays_byte_identical():
+    # The default (no staleness) and an explicit 0.0 must be the *same run*,
+    # byte for byte — the knob's default cannot move any existing trace.
+    default = run_scenario(_kill_promotion_spec("unit-staleness-default"))
+    explicit = run_scenario(_kill_promotion_spec("unit-staleness-default",
+                                                 staleness=0.0))
+    assert default.run.completed
+    assert default.golden_trace() == explicit.golden_trace()
+    events = [event for event in default.run.reshard_events
+              if event.kind == "promotion"]
+    # Default promotion cost is the flat coordination constant alone.
+    assert events and events[0].cost_s == pytest.approx(0.05)
+
+
+def test_staleness_catchup_charges_every_promotion_reshard():
+    stalled = run_scenario(_kill_promotion_spec("unit-staleness-charged",
+                                                staleness=0.6))
+    assert stalled.run.completed
+    events = [event for event in stalled.run.reshard_events
+              if event.kind == "promotion"]
+    # Promotion now costs coordination + the configured catch-up stall.
+    assert events and events[0].cost_s == pytest.approx(0.05 + 0.6)
+    # The charge is pinned behaviour: it lands in the golden-trace bytes.
+    baseline = run_scenario(_kill_promotion_spec("unit-staleness-charged"))
+    assert stalled.golden_trace() != baseline.golden_trace()
+    reshard = stalled.fingerprint["elastic"]["resharding"]["events"][0]
+    assert reshard["cost_s"] == pytest.approx(0.65)
+
+
+def test_staleness_catchup_spec_round_trips_and_omits_the_default():
+    spec = ServerElasticSpec(replicas=1, staleness_catchup_s=0.75)
+    assert ServerElasticSpec.from_dict(spec.to_dict()) == spec
+    assert spec.to_dict()["staleness_catchup_s"] == 0.75
+    # Omit-when-default: the zero knob must not appear in serialized specs
+    # (spec hashes of every pre-staleness scenario stay stable).
+    assert "staleness_catchup_s" not in ServerElasticSpec(replicas=1).to_dict()
+    # A zero catch-up alone does not arm elastic behaviour.
+    assert not ServerElasticSpec(staleness_catchup_s=0.0)
+    with pytest.raises(ValueError):
+        ServerElasticSpec(staleness_catchup_s=-0.1)
+
+
+def test_job_rejects_negative_staleness_and_defaults_to_zero():
+    job, _ = build_scenario_job(_server_spec(name="unit-staleness-knob",
+                                             iterations=30))
+    assert job._staleness_catchup_s == 0.0
+    job.configure_server_replication(replicas=1)
+    assert job._staleness_catchup_s == 0.0  # default leaves the knob alone
+    job.configure_server_replication(replicas=1, staleness_catchup_s=0.5)
+    assert job._staleness_catchup_s == 0.5
+    with pytest.raises(ValueError):
+        job.configure_server_replication(replicas=1, staleness_catchup_s=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# Shrink-side heat asymmetry (zero-heat active servers)
+# ---------------------------------------------------------------------------
+
+
+def test_zero_heat_server_keeps_its_raw_depth_in_weighted_depths():
+    # A freshly recovered server (promoted away, owning no primary weight
+    # yet) has heat 0 — its real backlog must read at face value, not be
+    # zeroed out of the shrink mean and the scale-out max.
+    context = _server_context(
+        server_queue_depths={"server-0": 1, "server-1": 1, "server-2": 6},
+        server_shard_weights={"server-0": 1.5, "server-1": 1.5,
+                              "server-2": 0.0})
+    depths = context.weighted_server_depths()
+    assert depths["server-2"] == 6.0  # raw, not 0.0
+    assert depths["server-0"] == 1.5
+
+
+def test_queue_depth_policy_sees_zero_heat_backlog_during_churn():
+    policy = ServerQueueDepthPolicy(scale_out_depth=4.0, scale_in_depth=0.5)
+    serving = {"server-0": 0, "server-1": 0, "server-2": 5}
+    heat = {"server-0": 1.5, "server-1": 1.5, "server-2": 0.0}
+    # Pre-fix the zero heat wiped the backlog: mean 0 -> bogus scale-in of
+    # the very server holding five requests.  Now it triggers a scale-out.
+    actions = policy.decide(_server_context(server_queue_depths=serving,
+                                            server_shard_weights=heat))
+    assert len(actions) == 1 and isinstance(actions[0], ScaleOutServers)

@@ -392,7 +392,7 @@ def test_expand_registry_name_uniqueness_under_elastic_axes():
     # Every DDS-based base takes the full 2x2 product; the one static-method
     # base (hetero-static-partition) cannot be made elastic and drops out.
     names = [spec.name for spec in derived]
-    assert len(derived) == (31 - 1) * 4
+    assert len(derived) == (36 - 1) * 4
     assert len(set(names)) == len(names)
     assert len({spec_key(spec) for spec in derived}) == len(derived)
     assert all(spec.elastic.policy in ("utilization", "straggler-pressure")
@@ -402,10 +402,11 @@ def test_expand_registry_name_uniqueness_under_elastic_axes():
 def test_expand_registry_grows_to_hundreds_of_scenarios():
     derived = expand_registry(methods=("bsp", "asp", "antdt-nd"),
                               seeds=(0, 1, 2, 3))
-    # 17 fixed-fleet bases take the full 3x4 product; the 14 elastic bases
-    # (7 worker-elastic + 5 server-elastic + the 2 replication scenarios)
-    # drop the static-allocator method ("asp") and take a 2x4 product.
-    assert len(derived) == 17 * 12 + 14 * 8
+    # 19 fixed-fleet bases take the full 3x4 product; the 17 elastic bases
+    # (7 worker-elastic + 5 server-elastic + the 2 replication scenarios +
+    # the 3 elastic serving scenarios) drop the static-allocator method
+    # ("asp") and take a 2x4 product.
+    assert len(derived) == 19 * 12 + 17 * 8
     names = [spec.name for spec in derived]
     assert len(set(names)) == len(names), "derived names must be collision-free"
     # Derived specs are content-addressable like any other.

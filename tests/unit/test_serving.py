@@ -1,0 +1,287 @@
+"""Unit tests for the serving tier (repro.serving).
+
+Covers the deterministic arrival traces (seeded reproducibility, mean rate,
+shape envelopes), Zipf key popularity, token-bucket throttling, the bounded
+admission ledger, SLO accounting (windowed snapshot and cumulative
+fingerprint section), the spec layer (validation, presets, omit-when-default
+serialization), the serving-slo autoscaler policy, and the driver's routing
+and accounting on a real scenario job.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.actions import ScaleInServers, ScaleOutServers
+from repro.elastic import ElasticContext, make_server_policy
+from repro.elastic.policies import ServingSLOPolicy
+from repro.serving import (
+    NO_SERVING,
+    SERVING_PRESETS,
+    SERVING_WORKER_PREFIX,
+    AdmissionLedger,
+    ServingSpec,
+    SLOTracker,
+    TenantSpec,
+    TokenBucket,
+    arrival_times,
+    zipf_keys,
+)
+from repro.serving.arrivals import peak_rate
+from repro.serving.tenants import bucket_for
+
+
+# ---------------------------------------------------------------------------
+# Arrival traces
+# ---------------------------------------------------------------------------
+
+
+def test_arrival_times_are_seed_deterministic_and_sorted():
+    first = arrival_times(np.random.default_rng(7), "diurnal", 50.0, 5.0, 40.0)
+    again = arrival_times(np.random.default_rng(7), "diurnal", 50.0, 5.0, 40.0)
+    np.testing.assert_array_equal(first, again)
+    assert np.all(np.diff(first) >= 0)
+    assert first[0] >= 5.0 and first[-1] < 45.0
+
+
+@pytest.mark.parametrize("shape", ["uniform", "diurnal", "bursty"])
+def test_arrival_mean_rate_matches_the_requested_rate(shape):
+    # Long window + law of large numbers: the thinned process realises the
+    # requested mean rate for every shape whose cycle mean is rate_rps.
+    times = arrival_times(np.random.default_rng(3), shape, 40.0, 0.0, 400.0)
+    assert len(times) == pytest.approx(40.0 * 400.0, rel=0.05)
+
+
+def test_bursty_shape_concentrates_arrivals_in_the_on_phase():
+    times = arrival_times(np.random.default_rng(11), "bursty", 60.0, 0.0, 200.0)
+    in_burst = np.mod(times, 20.0) < 5.0
+    # 5 s at 3x vs 15 s at 1/3x: the on-phase carries 75% of the traffic.
+    assert in_burst.mean() == pytest.approx(0.75, abs=0.05)
+
+
+def test_flash_crowd_peaks_mid_window():
+    times = arrival_times(np.random.default_rng(5), "flash-crowd",
+                          50.0, 0.0, 60.0)
+    # The Gaussian spike is centred at 40% of the window; the surrounding
+    # +/-10% slice must be far denser than the half-rate baseline tail.
+    spike = ((times > 18.0) & (times < 30.0)).sum() / 12.0
+    tail = (times > 48.0).sum() / 12.0
+    assert spike > 3.0 * tail
+
+
+def test_peak_rate_bounds_every_shape_and_rejects_unknown_shapes():
+    assert peak_rate("uniform", 10.0) == 10.0
+    assert peak_rate("bursty", 10.0) == 30.0
+    assert peak_rate("flash-crowd", 10.0) == 80.0
+    with pytest.raises(ValueError):
+        peak_rate("sawtooth", 10.0)
+    with pytest.raises(ValueError):
+        arrival_times(np.random.default_rng(0), "sawtooth", 10.0, 0.0, 10.0)
+
+
+def test_zipf_keys_are_rank_skewed_and_bounded():
+    keys = zipf_keys(np.random.default_rng(2), 20_000, 64, 1.1)
+    assert keys.min() >= 0 and keys.max() < 64
+    counts = np.bincount(keys, minlength=64)
+    # Rank 0 is the hottest key and the head dominates the tail.
+    assert counts[0] == counts.max()
+    assert counts[:8].sum() > counts[32:].sum()
+
+
+# ---------------------------------------------------------------------------
+# Token buckets and the admission ledger
+# ---------------------------------------------------------------------------
+
+
+def test_token_bucket_refills_at_rate_and_caps_at_capacity():
+    bucket = TokenBucket(rate=2.0, capacity=4.0, start_s=0.0)
+    # Burst capacity drains first...
+    assert all(bucket.try_acquire(0.0) for _ in range(4))
+    assert not bucket.try_acquire(0.0)
+    # ...then refills at `rate` tokens per second.
+    assert not bucket.try_acquire(0.4)
+    assert bucket.try_acquire(0.5)
+    # A long idle stretch refills to capacity, never beyond.
+    assert all(bucket.try_acquire(100.0) for _ in range(4))
+    assert not bucket.try_acquire(100.0)
+
+
+def test_bucket_for_builds_buckets_only_for_throttled_tenants():
+    assert bucket_for(None, 1.0, 0.0) is None
+    bucket = bucket_for(10.0, 0.5, 0.0)
+    assert isinstance(bucket, TokenBucket)
+    # Capacity is rate * burst_s, floored at one whole request.
+    assert bucket_for(0.5, 0.1, 0.0).try_acquire(0.0)
+
+
+def test_admission_ledger_bounds_inflight_and_tracks_the_peak():
+    ledger = AdmissionLedger(capacity=2)
+    assert ledger.try_admit("s0") and ledger.try_admit("s0")
+    assert not ledger.try_admit("s0")  # full: the shed path
+    assert ledger.inflight("s0") == 2 and ledger.total_inflight() == 2
+    ledger.release("s0")
+    assert ledger.try_admit("s0")
+    assert ledger.peak_inflight() == 2
+    with pytest.raises(ValueError):
+        ledger.release("s1")  # release without admission
+    with pytest.raises(ValueError):
+        AdmissionLedger(capacity=0)
+
+
+def test_least_loaded_prefers_the_first_emptiest_candidate():
+    ledger = AdmissionLedger(capacity=8)
+    ledger.try_admit("s0")
+    # Ties break in candidate order — the primary-then-standbys chain order.
+    assert ledger.least_loaded(["s1", "s2"]) == "s1"
+    assert ledger.least_loaded(["s0", "s1"]) == "s1"
+    with pytest.raises(ValueError):
+        ledger.least_loaded([])
+
+
+# ---------------------------------------------------------------------------
+# SLO accounting
+# ---------------------------------------------------------------------------
+
+
+def test_slo_snapshot_windows_arrivals_sheds_and_p99():
+    tracker = SLOTracker(window_s=10.0)
+    for t in range(20):
+        tracker.on_arrival("web", float(t))
+    tracker.on_shed("web", 19.0, "overload")
+    tracker.on_completion("web", 19.5, 0.2)
+    snap = tracker.snapshot(20.0, inflight=3)
+    # Only the last 10 s of arrivals survive the prune.
+    assert snap["arrival_rps"] == pytest.approx(1.0)
+    assert snap["shed_rate"] == pytest.approx(0.1)
+    assert snap["inflight"] == 3.0
+    assert snap["p99_s"] == pytest.approx(0.2)
+    # Once the window slides past every sample, p99 disappears rather than
+    # reporting a stale value.
+    empty = tracker.snapshot(60.0, inflight=0)
+    assert empty["arrival_rps"] == 0.0 and "p99_s" not in empty
+
+
+def test_slo_finalize_aggregates_tenants_and_digests_latencies():
+    tracker = SLOTracker(window_s=10.0)
+    for t in (1.0, 2.0, 3.0):
+        tracker.on_arrival("web", t)
+        tracker.on_completion("web", t + 0.1, 0.1)
+    tracker.on_arrival("batch", 2.5)
+    tracker.on_shed("batch", 2.5, "throttled")
+    summary = tracker.finalize(elapsed_s=10.0, in_flight_at_end=0)
+    assert summary["arrivals"] == 4 and summary["completed"] == 3
+    assert summary["shed"] == {"overload": 0, "throttled": 1}
+    assert summary["shed_rate"] == pytest.approx(0.25)
+    assert summary["goodput_rps"] == pytest.approx(0.3)
+    assert summary["p50_s"] == summary["p99_s"] == pytest.approx(0.1)
+    assert sorted(summary["tenants"]) == ["batch", "web"]
+    assert summary["tenants"]["batch"]["shed"]["throttled"] == 1
+    assert "p50_s" not in summary["tenants"]["batch"]  # no completions
+    assert len(summary["latency_digest"]) == 16
+
+
+# ---------------------------------------------------------------------------
+# Spec layer
+# ---------------------------------------------------------------------------
+
+
+def test_serving_spec_validation_rejects_bad_shapes_and_duplicates():
+    with pytest.raises(ValueError):
+        TenantSpec(name="web", rate_rps=10.0, shape="sawtooth")
+    with pytest.raises(ValueError):
+        TenantSpec(name="web", rate_rps=0.0)
+    with pytest.raises(ValueError):
+        ServingSpec(tenants=(TenantSpec(name="a", rate_rps=1.0),
+                             TenantSpec(name="a", rate_rps=2.0)))
+    with pytest.raises(ValueError):
+        ServingSpec(tenants=(TenantSpec(name="a", rate_rps=1.0),),
+                    read_fraction=1.5)
+
+
+def test_serving_spec_is_falsy_without_tenants_and_presets_are_armed():
+    assert not NO_SERVING and not ServingSpec()
+    assert not SERVING_PRESETS["off"]
+    for name in ("steady", "bursty", "flash"):
+        assert SERVING_PRESETS[name]
+        rebuilt = ServingSpec.from_dict(SERVING_PRESETS[name].to_dict())
+        assert rebuilt == SERVING_PRESETS[name]
+
+
+def test_serving_worker_prefix_marks_pseudo_workers():
+    assert SERVING_WORKER_PREFIX == "serve:"
+    spec = SERVING_PRESETS["steady"]
+    assert all(tenant.rate_rps > 0 for tenant in spec.tenants)
+
+
+# ---------------------------------------------------------------------------
+# The serving-slo autoscaler policy
+# ---------------------------------------------------------------------------
+
+
+def _slo_context(**overrides):
+    defaults = dict(
+        now=100.0,
+        active_workers=["worker-0"],
+        pending_workers=0,
+        min_workers=1,
+        max_workers=None,
+        cluster_busy=False,
+        pending_time_s=5.0,
+        remaining_samples=100_000,
+        active_servers=["server-0", "server-1", "server-2"],
+        pending_servers=0,
+        min_servers=1,
+        max_servers=5,
+        serving={"arrival_rps": 80.0, "shed_rate": 0.0,
+                 "inflight": 4.0, "p99_s": 0.1},
+    )
+    defaults.update(overrides)
+    return ElasticContext(**defaults)
+
+
+def test_slo_policy_scales_out_on_shed_rate_or_p99_breach():
+    policy = ServingSLOPolicy(target_p99_s=0.3, max_shed_rate=0.02)
+    shed = _slo_context(serving={"arrival_rps": 80.0, "shed_rate": 0.1,
+                                 "inflight": 12.0, "p99_s": 0.1})
+    actions = policy.decide(shed)
+    assert len(actions) == 1 and isinstance(actions[0], ScaleOutServers)
+    slow = _slo_context(serving={"arrival_rps": 80.0, "shed_rate": 0.0,
+                                 "inflight": 12.0, "p99_s": 0.9})
+    assert isinstance(policy.decide(slow)[0], ScaleOutServers)
+    # The busy-cluster gate and the headroom cap both veto the grow.
+    assert policy.decide(_slo_context(
+        serving=dict(shed.serving), cluster_busy=True)) == []
+    assert policy.decide(_slo_context(
+        serving=dict(shed.serving), pending_servers=2)) == []
+
+
+def test_slo_policy_scales_in_newest_servers_only_when_clean():
+    policy = ServingSLOPolicy(target_p99_s=0.5, max_shed_rate=0.02,
+                              scale_in_fraction=0.25, min_arrival_rps=1.0)
+    actions = policy.decide(_slo_context())  # p99 0.1 < 0.125, shed 0
+    assert len(actions) == 1 and isinstance(actions[0], ScaleInServers)
+    assert actions[0].node_names == ("server-2",)  # the newest
+    # Quiet tier (no real traffic), warm p99, or the floor: no shrink.
+    assert policy.decide(_slo_context(serving={
+        "arrival_rps": 0.0, "shed_rate": 0.0, "inflight": 0.0})) == []
+    assert policy.decide(_slo_context(serving={
+        "arrival_rps": 80.0, "shed_rate": 0.0, "inflight": 4.0,
+        "p99_s": 0.2})) == []
+    assert policy.decide(_slo_context(min_servers=3)) == []
+
+
+def test_slo_policy_stands_down_without_a_serving_snapshot():
+    policy = ServingSLOPolicy()
+    assert policy.decide(_slo_context(serving=None)) == []
+    assert isinstance(make_server_policy("serving-slo", target_p99_s=0.3),
+                      ServingSLOPolicy)
+
+
+def test_slo_policy_rejects_nonsense_parameters():
+    with pytest.raises(ValueError):
+        ServingSLOPolicy(target_p99_s=0.0)
+    with pytest.raises(ValueError):
+        ServingSLOPolicy(max_shed_rate=1.0)
+    with pytest.raises(ValueError):
+        ServingSLOPolicy(scale_in_fraction=1.0)
+    with pytest.raises(ValueError):
+        ServingSLOPolicy(step=0)
