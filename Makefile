@@ -8,7 +8,7 @@ PYTHONPATH_PREFIX = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 ## Parallel worker processes for orchestrated sweeps (python -m repro).
 JOBS ?= 2
 
-.PHONY: test tier1 fast golden golden-check golden-update sweep bench bench-smoke trace-smoke serve-smoke ci
+.PHONY: test tier1 fast lint golden golden-check golden-update sweep bench bench-smoke trace-smoke serve-smoke ci
 
 ## Full tier-1 suite (what the PR gate runs): unit + integration + property +
 ## golden traces + benchmarks.
@@ -17,7 +17,19 @@ test:
 
 ## Exactly what .github/workflows/ci.yml runs — one local command to know
 ## the gate will pass before pushing.
-ci: test golden-check trace-smoke serve-smoke
+ci: lint test golden-check trace-smoke serve-smoke
+
+## Static analysis: the determinism & sim-safety linter (AST rules DET/SIM,
+## cross-artifact CON checks) against the committed lint-baseline.json, plus
+## ruff as a second syntax/undefined-name layer where it is installed (CI
+## always has it; offline dev environments may not).
+lint:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m repro lint src/repro
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping the second lint layer (CI runs it)"; \
+	fi
 
 ## Only the tests/ tree (skips the benchmark harness).
 tier1:

@@ -1,0 +1,108 @@
+"""The committed baseline: grandfathered findings that predate the linter.
+
+The baseline file (``lint-baseline.json`` at the repository root) lets the
+CI gate be strict from day one: every finding not in the baseline fails the
+build, while the handful of deliberate, documented internal accesses that
+existed before the linter (e.g. the parameter server's coalescing layer
+reaching into its own ``Store`` deque) are carried explicitly.
+
+Entries are keyed by ``(rule, path, message)`` with a count — line numbers
+are deliberately excluded so edits elsewhere in a file do not rot the
+baseline.  The flip side: moving a grandfathered pattern to a *new* file or
+changing its shape produces a fresh finding, which is exactly the intent.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from .findings import Finding
+
+__all__ = ["Baseline", "BASELINE_FILENAME"]
+
+BASELINE_FILENAME = "lint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+_Key = Tuple[str, str, str]
+
+
+class Baseline:
+    """Grandfathered findings with per-key counts."""
+
+    def __init__(self, counts: Dict[_Key, int]) -> None:
+        self._granted = dict(counts)
+        self._remaining = dict(counts)
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls({})
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        counts: Dict[_Key, int] = {}
+        for finding in findings:
+            key = finding.baseline_key()
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Read the baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls.empty()
+        document = json.loads(path.read_text(encoding="utf-8"))
+        if document.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version "
+                f"{document.get('version')!r} (expected {_FORMAT_VERSION})")
+        counts: Dict[_Key, int] = {}
+        for entry in document.get("findings", []):
+            key = (str(entry["rule"]), str(entry["path"]),
+                   str(entry["message"]))
+            counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+        return cls(counts)
+
+    # -- matching -----------------------------------------------------------
+    def absorb(self, finding: Finding) -> bool:
+        """Consume one baseline slot for the finding if one remains."""
+        key = finding.baseline_key()
+        remaining = self._remaining.get(key, 0)
+        if remaining <= 0:
+            return False
+        self._remaining[key] = remaining - 1
+        finding.baselined = True
+        return True
+
+    def stale_entries(self) -> List[Dict[str, object]]:
+        """Entries (or counts) no current finding consumed — candidates for
+        shrinking the baseline after a cleanup."""
+        stale = []
+        for key in sorted(self._remaining):
+            remaining = self._remaining[key]
+            if remaining > 0:
+                rule, path, message = key
+                stale.append({"rule": rule, "path": path, "message": message,
+                              "count": remaining})
+        return stale
+
+    # -- persistence --------------------------------------------------------
+    def to_document(self) -> Dict[str, object]:
+        entries = []
+        for key in sorted(self._granted):
+            rule, path, message = key
+            entries.append({"rule": rule, "path": path, "message": message,
+                            "count": self._granted[key]})
+        return {"version": _FORMAT_VERSION, "findings": entries}
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the canonical (sorted, indented) baseline document."""
+        text = json.dumps(self.to_document(), indent=2, sort_keys=True) + "\n"
+        Path(path).write_text(text, encoding="utf-8")
+
+    def __len__(self) -> int:
+        return sum(self._granted.values())

@@ -1,0 +1,155 @@
+"""Rule framework: the registry, the per-file context, and import tracking.
+
+A rule is a small object with an id (``DET001``), a one-line title, a
+rationale, and a ``check(ctx)`` method returning findings for one parsed
+file.  Rules register themselves via the :func:`register` decorator, so the
+runner, the CLI's ``--list-rules`` catalogue, and the README rule table all
+read from one source of truth.
+
+:class:`RuleContext` carries everything a rule needs about the file under
+analysis: source, AST (with parent links), the repo-relative path used for
+whitelist/output-module gating, and an :class:`ImportMap` that resolves a
+``Name``/``Attribute`` chain to the dotted module path it refers to — so
+``np.random.default_rng`` and ``from numpy.random import default_rng``
+are recognised as the same thing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from .findings import Finding
+
+__all__ = ["ImportMap", "Rule", "RuleContext", "all_rules", "register",
+           "node_parent", "attach_parents"]
+
+_PARENT_FIELD = "_detlint_parent"
+
+
+def attach_parents(tree: ast.AST) -> None:
+    """Annotate every node with its parent (rules need upward context)."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            setattr(child, _PARENT_FIELD, node)
+
+
+def node_parent(node: ast.AST) -> Optional[ast.AST]:
+    """The parent set by :func:`attach_parents` (None at the module root)."""
+    return getattr(node, _PARENT_FIELD, None)
+
+
+class ImportMap:
+    """What each local name refers to, derived from the file's imports.
+
+    Two tables: ``modules`` maps a bound name to the dotted module it names
+    (``import numpy as np`` -> ``np: numpy``; ``import numpy.random`` ->
+    ``numpy: numpy``), and ``members`` maps a bound name to the dotted path
+    of the imported member (``from time import perf_counter`` ->
+    ``perf_counter: time.perf_counter``).  Relative imports resolve to
+    nothing — the hazard modules these rules care about are all absolute.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.modules: Dict[str, str] = {}
+        self.members: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.modules[alias.asname] = alias.name
+                    else:
+                        # ``import a.b.c`` binds ``a`` to package ``a``.
+                        head = alias.name.split(".", 1)[0]
+                        self.modules[head] = head
+            elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    self.members[bound] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted path a ``Name``/``Attribute`` chain refers to, if known.
+
+        ``np.random.default_rng`` -> ``numpy.random.default_rng`` under
+        ``import numpy as np``; returns None when the chain's head is not an
+        imported name (a local variable, ``self``, ...).
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.reverse()
+        head = node.id
+        if head in self.modules:
+            return ".".join([self.modules[head]] + parts)
+        if head in self.members:
+            return ".".join([self.members[head]] + parts)
+        return None
+
+
+class RuleContext:
+    """Everything the rules may inspect about one file."""
+
+    def __init__(self, path: str, rel: str, source: str, tree: ast.AST) -> None:
+        self.path = path          # path as given to the linter (for reports)
+        self.rel = rel            # repo-relative posix path (for gating)
+        self.source = source
+        self.tree = tree
+        self.imports = ImportMap(tree)
+
+    def rel_matches(self, suffixes: Sequence[str]) -> bool:
+        """True when the repo-relative path ends with any of ``suffixes``."""
+        return any(self.rel.endswith(suffix) for suffix in suffixes)
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Shorthand for :meth:`ImportMap.resolve`."""
+        return self.imports.resolve(node)
+
+
+class Rule:
+    """Base class: subclasses set the class attributes and implement check."""
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def check(self, ctx: RuleContext) -> List[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: RuleContext, node: ast.AST, message: str) -> Finding:
+        """A finding anchored at ``node`` in the file under analysis."""
+        return Finding(
+            rule=self.rule_id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+#: rule id -> rule instance.  Populated by the :func:`register` decorator at
+#: import time; iterate via :func:`all_rules` (sorted — never raw dict order).
+RULES: Dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate the rule and add it to the registry."""
+    rule = rule_cls()
+    if not rule.rule_id:
+        raise ValueError(f"{rule_cls.__name__} has no rule_id")
+    if rule.rule_id in RULES:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    RULES[rule.rule_id] = rule
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule in deterministic (id) order."""
+    return [RULES[rule_id] for rule_id in sorted(RULES)]
+
+
+def catalog() -> List[Tuple[str, str, str]]:
+    """(id, title, rationale) rows for ``--list-rules`` and the docs."""
+    return [(rule.rule_id, rule.title, rule.rationale) for rule in all_rules()]

@@ -1,18 +1,84 @@
-"""Configuration objects for the AntDT framework.
+"""Configuration objects for the AntDT framework — and the one sanctioned
+``os.environ`` surface of the whole tree.
 
 The hyper-parameters follow Section VII-A.5 of the paper: shard granularity
 ``M = 100`` batches, slowness ratio ``λ = 1.5``, sliding windows ``L_trans = 5``
 minutes and ``L_per = 10`` minutes, agent reports every 10 iterations and the
 controller acting every 5 minutes.
+
+Environment variables are hidden inputs to a run: every read anywhere else
+in ``src/repro`` is a potential determinism escape hatch that no spec hash
+or golden trace can see.  The DET004 lint rule therefore whitelists exactly
+this module; every knob gets a named accessor here (and nothing else may
+touch ``os.environ``), so the complete set of environmental inputs is
+auditable in one screenful.
 """
 
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["ConsistencyModel", "IntegritySemantics", "AntDTConfig"]
+__all__ = [
+    "ConsistencyModel", "IntegritySemantics", "AntDTConfig",
+    "NO_COALESCE_ENV", "PROFILE_ENV", "JOBS_ENV", "CACHE_DIR_ENV",
+    "BENCH_DIR_ENV", "env_text", "coalesce_default", "profiling_env_enabled",
+    "jobs_env_override", "cache_dir_override", "bench_dir_override",
+]
+
+# ---------------------------------------------------------------------------
+# Environment knobs (the single whitelisted os.environ surface — DET004)
+# ---------------------------------------------------------------------------
+
+#: Disable the engine's cohort event coalescing (debug / equivalence runs).
+NO_COALESCE_ENV = "REPRO_NO_COALESCE"
+#: Run drivers under cProfile ("" and "0" mean off).
+PROFILE_ENV = "REPRO_PROFILE"
+#: Default parallel worker count for orchestrated sweeps.
+JOBS_ENV = "REPRO_JOBS"
+#: Directory the content-addressed result store lives in.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Directory ``BENCH_engine.json`` is written to.
+BENCH_DIR_ENV = "REPRO_BENCH_DIR"
+
+
+def env_text(name: str) -> Optional[str]:
+    """Raw environment read — the one place ``os.environ`` is consulted."""
+    return os.environ.get(name)
+
+
+def coalesce_default() -> bool:
+    """Engine coalescing default: on unless ``REPRO_NO_COALESCE`` is set."""
+    return not env_text(NO_COALESCE_ENV)
+
+
+def profiling_env_enabled() -> bool:
+    """True when ``REPRO_PROFILE`` requests cProfile ("" / "0" mean off)."""
+    return (env_text(PROFILE_ENV) or "") not in ("", "0")
+
+
+def jobs_env_override() -> Optional[int]:
+    """``REPRO_JOBS`` as an integer, or None when unset/blank."""
+    raw = (env_text(JOBS_ENV) or "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{JOBS_ENV} must be an integer, got {raw!r}") from None
+
+
+def cache_dir_override() -> Optional[str]:
+    """``REPRO_CACHE_DIR``, or None when unset/empty."""
+    return env_text(CACHE_DIR_ENV) or None
+
+
+def bench_dir_override() -> Optional[str]:
+    """``REPRO_BENCH_DIR``, or None when unset/empty."""
+    return env_text(BENCH_DIR_ENV) or None
 
 
 class ConsistencyModel(enum.Enum):

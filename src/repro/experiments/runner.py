@@ -9,12 +9,11 @@ components and job, runs the simulation, and returns the
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Union
 
 from ..baselines.registry import PSMethod, get_method
-from ..core.config import ConsistencyModel
+from ..core.config import ConsistencyModel, coalesce_default
 from ..core.sharding import StatefulDDS, StaticPartition
 from ..core.shuffler import ShardShuffler
 from ..ml.models.cost_models import ModelCostProfile, XDEEPFM_CRITEO
@@ -76,7 +75,7 @@ class PSExperiment:
         """Assemble the simulation environment and the training job."""
         coalesce = self.coalesce
         if coalesce is None:
-            coalesce = not os.environ.get("REPRO_NO_COALESCE")
+            coalesce = coalesce_default()
         env = Environment(coalesce=coalesce)
         cluster = make_cpu_cluster(self.scale, seed=self.seed, dedicated=self.dedicated)
         apply_scenario(cluster, self.scenario, self.scale, seed=self.seed)

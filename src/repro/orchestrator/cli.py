@@ -27,6 +27,12 @@ Subcommands
     ``tests/golden/traces/`` through the parallel sweep path.  Parallel and
     serial execution produce byte-identical traces; the golden suite is the
     standing proof.
+``lint``
+    Run the :mod:`repro.analysis` determinism & sim-safety linter: AST rules
+    (unseeded RNGs, wall-clock reads, unsorted iteration into golden output,
+    stray ``os.environ`` reads, engine-internal access) plus cross-artifact
+    consistency checks, gated by inline ``# detlint: ignore[RULE]`` waivers
+    and the committed ``lint-baseline.json``.
 
 Worker count comes from ``--jobs`` or the ``REPRO_JOBS`` environment
 variable; the result store lives under ``REPRO_CACHE_DIR`` (default:
@@ -530,6 +536,14 @@ def build_parser() -> argparse.ArgumentParser:
     golden_parser.add_argument("--trace-dir", metavar="DIR", default=None,
                                help="write traces here instead of tests/golden/traces/")
     golden_parser.set_defaults(func=_cmd_golden_update)
+
+    lint_parser = commands.add_parser(
+        "lint",
+        help="run the determinism & sim-safety linter (AST rules DET/SIM, "
+             "cross-artifact CON checks) against the committed baseline")
+    from ..analysis.cli import configure_lint_parser
+
+    configure_lint_parser(lint_parser)
 
     return parser
 

@@ -21,13 +21,12 @@ executed, errors, engine events) and the report derives the parallel speedup
 
 from __future__ import annotations
 
-import os
-import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from ..perf import Counter
+from ..core.config import JOBS_ENV, jobs_env_override
+from ..perf import Counter, Stopwatch
 from ..scenarios.fingerprint import canonical_json
 from ..scenarios.matrix import ScenarioResult
 from ..scenarios.spec import ScenarioSpec
@@ -37,9 +36,6 @@ from .worker import outcome_payload, run_payload, simulate_spec
 
 __all__ = ["AUTO_STORE", "JOBS_ENV", "SweepError", "SweepOutcome",
            "SweepReport", "SweepRunner", "resolve_jobs"]
-
-#: Environment variable supplying the default parallel worker count.
-JOBS_ENV = "REPRO_JOBS"
 
 
 class _AutoStore:
@@ -56,15 +52,8 @@ AUTO_STORE = _AutoStore()
 def resolve_jobs(jobs: Optional[int] = None) -> int:
     """The effective worker count: explicit arg > ``REPRO_JOBS`` env > 1."""
     if jobs is None:
-        raw = os.environ.get(JOBS_ENV, "").strip()
-        if raw:
-            try:
-                jobs = int(raw)
-            except ValueError:
-                raise ValueError(
-                    f"{JOBS_ENV} must be an integer, got {raw!r}") from None
-        else:
-            jobs = 1
+        override = jobs_env_override()
+        jobs = override if override is not None else 1
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     return jobs
@@ -264,11 +253,11 @@ class SweepRunner:
 
     def _run_serial(self, pending: List[SweepOutcome], counters: Counter) -> None:
         for outcome in pending:
-            started = time.perf_counter()
+            watch = Stopwatch().start()
             try:
                 sim = simulate_spec(outcome.spec)
             except Exception as exc:  # noqa: BLE001 - per-spec isolation
-                payload = outcome_payload(None, exc, time.perf_counter() - started)
+                payload = outcome_payload(None, exc, watch.elapsed)
             else:
                 payload = outcome_payload(sim, None, sim.wall_s)
                 outcome.result = sim.scenario_result()
@@ -295,7 +284,7 @@ class SweepRunner:
         names = [spec.name for spec in ordered]
         if len(set(names)) != len(names):
             raise ValueError("scenario names in a sweep must be unique")
-        started = time.perf_counter()
+        watch = Stopwatch().start()
         # Each run gets its own counter so the report describes *this* sweep;
         # the runner's cumulative counters are merged at the end.
         counters = Counter()
@@ -322,6 +311,6 @@ class SweepRunner:
         return SweepReport(
             outcomes=outcomes,
             jobs=self.jobs,
-            wall_s=time.perf_counter() - started,
+            wall_s=watch.elapsed,
             counters=counters,
         )

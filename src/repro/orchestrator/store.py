@@ -23,18 +23,15 @@ from __future__ import annotations
 import copy
 import hashlib
 import json
-import os
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Union
 
+from ..core.config import CACHE_DIR_ENV, cache_dir_override
 from ..scenarios.fingerprint import canonical_json
 from ..scenarios.spec import ScenarioSpec
 from .hashing import spec_key
 
 __all__ = ["CACHE_DIR_ENV", "STORE_FILENAME", "ResultStore", "default_store_path"]
-
-#: Environment variable overriding the directory the result store lives in.
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: The store's filename inside its directory (one name everywhere, so every
 #: mechanism pointing at the same directory shares one cache).
@@ -49,7 +46,7 @@ def default_store_path() -> Path:
     rule as :func:`repro.perf.report.bench_output_path`), so sweeps started
     from any working directory share one cache.
     """
-    override = os.environ.get(CACHE_DIR_ENV)
+    override = cache_dir_override()
     if override:
         return Path(override) / STORE_FILENAME
     from ..perf.report import repro_root

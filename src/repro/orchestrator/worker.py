@@ -17,11 +17,11 @@ child comes back as an error record instead of poisoning the pool.
 
 from __future__ import annotations
 
-import time
 import traceback
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from ..perf import Stopwatch
 from ..psarch.job import PSRunResult, PSTrainingJob
 from ..scenarios.fingerprint import fingerprint
 from ..scenarios.matrix import ScenarioResult, build_scenario_job
@@ -56,7 +56,7 @@ def simulate_spec(spec: ScenarioSpec, **overrides: object) -> SimRun:
     coverage tracking, ...), so spec-driven experiments that need more than
     the declarative knobs still route through the orchestrator.
     """
-    started = time.perf_counter()
+    watch = Stopwatch().start()
     job, injector = build_scenario_job(spec, **overrides)
     result = job.run()
     return SimRun(
@@ -65,7 +65,7 @@ def simulate_spec(spec: ScenarioSpec, **overrides: object) -> SimRun:
         injector=injector,
         run=result,
         fingerprint=fingerprint(spec, result, injector),
-        wall_s=time.perf_counter() - started,
+        wall_s=watch.elapsed,
     )
 
 
@@ -76,14 +76,14 @@ def run_payload(spec_dict: Dict[str, object]) -> Dict[str, object]:
     mid-simulation — is reported as an ``ok=False`` record carrying the
     error and traceback, so one broken scenario cannot take down a sweep.
     """
-    started = time.perf_counter()
+    watch = Stopwatch().start()
     try:
         spec = ScenarioSpec.from_dict(spec_dict)
         sim = simulate_spec(spec)
         return {
             "ok": True,
             "fingerprint": sim.fingerprint,
-            "wall_s": time.perf_counter() - started,
+            "wall_s": watch.elapsed,
             "engine_events_scheduled": sim.run.engine_events_scheduled,
             "engine_events_processed": sim.run.engine_events_processed,
             "engine_events_physical": sim.run.engine_events_physical,
@@ -94,7 +94,7 @@ def run_payload(spec_dict: Dict[str, object]) -> Dict[str, object]:
             "ok": False,
             "error": f"{type(exc).__name__}: {exc}",
             "traceback": traceback.format_exc(),
-            "wall_s": time.perf_counter() - started,
+            "wall_s": watch.elapsed,
         }
 
 

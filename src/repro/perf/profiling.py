@@ -12,15 +12,13 @@ simulation time hides inside pool-wait frames, so
 
 from __future__ import annotations
 
-import os
 import sys
 from typing import Callable, Optional, TextIO, TypeVar
 
+from ..core.config import PROFILE_ENV, profiling_env_enabled
+
 __all__ = ["PROFILE_ENV", "profiling_requested", "run_profiled",
            "maybe_profiled", "warn_multiprocess_profile"]
-
-#: Environment variable that turns profiling on ("" and "0" mean off).
-PROFILE_ENV = "REPRO_PROFILE"
 
 _T = TypeVar("_T")
 
@@ -29,7 +27,7 @@ def profiling_requested(flag: bool = False) -> bool:
     """True when ``flag`` (a driver's ``--profile``) or the env var asks."""
     if flag:
         return True
-    return os.environ.get(PROFILE_ENV, "") not in ("", "0")
+    return profiling_env_enabled()
 
 
 def run_profiled(work: Callable[[], _T], top: int = 20,

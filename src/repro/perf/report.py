@@ -11,17 +11,15 @@ format and how to compare runs across PRs.
 from __future__ import annotations
 
 import json
-import os
 import platform
 import sys
 import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
-__all__ = ["PerfReporter", "bench_output_path", "repro_root"]
+from ..core.config import BENCH_DIR_ENV, bench_dir_override
 
-#: Environment variable overriding the directory BENCH_engine.json is written to.
-BENCH_DIR_ENV = "REPRO_BENCH_DIR"
+__all__ = ["BENCH_DIR_ENV", "PerfReporter", "bench_output_path", "repro_root"]
 
 _BENCH_FILENAME = "BENCH_engine.json"
 
@@ -44,7 +42,7 @@ def bench_output_path(filename: str = _BENCH_FILENAME) -> Path:
     working directory updates one canonical file; ``REPRO_BENCH_DIR``
     overrides the directory.
     """
-    override = os.environ.get(BENCH_DIR_ENV)
+    override = bench_dir_override()
     if override:
         return Path(override) / filename
     return repro_root() / filename
@@ -86,7 +84,10 @@ class PerfReporter:
         """The full report document (metadata plus scenarios)."""
         return {
             "benchmark": "engine",
-            "updated_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.localtime()),
+            # Bench-file metadata, not simulation behaviour: the trajectory
+            # file records *when* it was measured.  Waived, not whitelisted —
+            # any new clock read in this module must justify itself too.
+            "updated_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.localtime()),  # detlint: ignore[DET002]
             "python": platform.python_version(),
             "platform": platform.platform(),
             "scenarios": self.scenarios,

@@ -116,6 +116,8 @@ def server_elastic_specs(draw):
             st.none(), st.integers(min_value=min_servers, max_value=64))),
         replicas=draw(st.integers(min_value=0, max_value=3)),
         hot_shards=hot_shards,
+        staleness_catchup_s=draw(st.floats(
+            min_value=0.0, max_value=60.0, allow_nan=False)),
     )
 
 
